@@ -1,0 +1,388 @@
+// Package core implements the paper's primary contribution (§II): an online
+// monitor that watches a multimedia application's trace stream and records
+// only the windows whose behaviour departs from a learned model of correct
+// execution.
+//
+// The monitor processes one window at a time:
+//
+//  1. the window is summarised as a pmf over event types (package pmf);
+//  2. a cheap Kullback–Leibler gate compares the window pmf Npmf with the
+//     running past pmf Ppmf; if they are similar, Npmf is merged into Ppmf
+//     (tracking slow drift) and no further work happens;
+//  3. if the gate trips, the window is scored with LOF against the model
+//     learned from a reference trace; LOF >= alpha flags an anomaly and the
+//     window is recorded.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"enduratrace/internal/distance"
+	"enduratrace/internal/lof"
+	"enduratrace/internal/pmf"
+	"enduratrace/internal/recorder"
+	"enduratrace/internal/trace"
+	"enduratrace/internal/traceio"
+	"enduratrace/internal/window"
+)
+
+// Config carries every tunable of the approach. NewConfig supplies the
+// paper's experimental values.
+type Config struct {
+	// NumTypes is the pmf dimensionality (one component per event type).
+	NumTypes int
+	// WindowDuration slices the stream into fixed time windows (40 ms in
+	// §III). Set WindowCount instead for hardware-buffer-style count
+	// windows; exactly one of the two must be non-zero.
+	WindowDuration time.Duration
+	// WindowCount, when non-zero, uses windows of N consecutive events.
+	WindowCount int
+	// K is the LOF neighbourhood size (20 in §III).
+	K int
+	// Alpha is the LOF anomaly threshold; LOF >= Alpha records the window
+	// (1.2 in the headline result).
+	Alpha float64
+	// GateThreshold is the KL distance above which the gate trips and a
+	// LOF computation is performed.
+	GateThreshold float64
+	// GateDistance compares Npmf with Ppmf; the paper uses
+	// Kullback–Leibler. Defaults to distance.SymmetricKL.
+	GateDistance distance.Func
+	// LOFDistance is the dissimilarity for the LOF model. Defaults to the
+	// same KL family ("symkl").
+	LOFDistance distance.Distance
+	// MergeLambda is the weight of the new window when merging Npmf into
+	// Ppmf on a quiet gate, in (0, 1].
+	MergeLambda float64
+	// Smoothing is the additive smoothing epsilon applied when normalising
+	// window counts to pmfs; it keeps KL finite.
+	Smoothing float64
+	// IncludeRate appends a saturating event-rate feature to the LOF
+	// vectors so that pure rate collapses remain visible (extension;
+	// the gate always works on the pmf prefix).
+	IncludeRate bool
+	// UseVPTree selects the VP-tree index at fit time (requires a metric
+	// LOFDistance).
+	UseVPTree bool
+	// Seed controls VP-tree construction.
+	Seed int64
+}
+
+// NewConfig returns the configuration used in the paper's experiment
+// (§III): 40 ms windows, K = 20, alpha = 1.2, with the remaining knobs at
+// values the paper leaves implicit.
+func NewConfig(numTypes int) Config {
+	return Config{
+		NumTypes:       numTypes,
+		WindowDuration: 40 * time.Millisecond,
+		K:              20,
+		Alpha:          1.2,
+		GateThreshold:  0.05,
+		GateDistance:   distance.SymmetricKL,
+		LOFDistance:    distance.Distance{Name: "symkl", F: distance.SymmetricKL},
+		MergeLambda:    0.1,
+		Smoothing:      0.5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumTypes <= 1 {
+		return fmt.Errorf("core: NumTypes must be > 1, got %d", c.NumTypes)
+	}
+	if (c.WindowDuration > 0) == (c.WindowCount > 0) {
+		return errors.New("core: exactly one of WindowDuration and WindowCount must be set")
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("core: K must be positive, got %d", c.K)
+	}
+	if c.Alpha < 1 {
+		return fmt.Errorf("core: Alpha must be >= 1, got %g", c.Alpha)
+	}
+	if c.GateThreshold < 0 {
+		return fmt.Errorf("core: GateThreshold must be >= 0, got %g", c.GateThreshold)
+	}
+	if c.MergeLambda <= 0 || c.MergeLambda > 1 {
+		return fmt.Errorf("core: MergeLambda %g outside (0,1]", c.MergeLambda)
+	}
+	if c.Smoothing < 0 {
+		return fmt.Errorf("core: Smoothing must be >= 0, got %g", c.Smoothing)
+	}
+	if c.GateDistance == nil || c.LOFDistance.F == nil {
+		return errors.New("core: nil distance function")
+	}
+	return nil
+}
+
+// NewWindower builds a fresh windower matching the config.
+func (c Config) NewWindower() window.Windower {
+	if c.WindowCount > 0 {
+		return window.NewByCount(c.WindowCount)
+	}
+	return window.NewByTime(c.WindowDuration)
+}
+
+// Decision is the monitor's verdict on one window.
+type Decision struct {
+	Window   window.Window
+	Features pmf.Vector
+	// GateDist is the KL distance between the window pmf and the past pmf.
+	GateDist float64
+	// GateTripped reports whether a LOF computation was performed.
+	GateTripped bool
+	// LOF is the local outlier factor; NaN when the gate did not trip.
+	LOF float64
+	// Anomalous reports LOF >= Alpha; such windows are recorded.
+	Anomalous bool
+}
+
+// Monitor is the online anomaly detector. It is not safe for concurrent
+// use; run one Monitor per trace stream.
+type Monitor struct {
+	cfg   Config
+	feat  pmf.Featurizer
+	model *lof.Model
+
+	ppmf     pmf.Vector // the running "past" pmf
+	seeded   bool
+	windows  int
+	trips    int
+	anoms    int
+	lofCalls int
+}
+
+// NewMonitor builds a monitor around a learned model. The model must have
+// been produced by Learn with the same Config (dimension mismatches are
+// rejected).
+func NewMonitor(cfg Config, learned *Learned) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if learned == nil || learned.Model == nil {
+		return nil, errors.New("core: nil learned model")
+	}
+	feat := learned.Featurizer
+	if feat.FeatureDim() != learned.Model.Dim() {
+		return nil, fmt.Errorf("core: featurizer dim %d != model dim %d",
+			feat.FeatureDim(), learned.Model.Dim())
+	}
+	return &Monitor{cfg: cfg, feat: feat, model: learned.Model}, nil
+}
+
+// ProcessWindow runs the §II online step on one window and returns the
+// decision. Recording is the caller's job (see Run), keeping the monitor
+// storage-agnostic.
+func (m *Monitor) ProcessWindow(w window.Window) Decision {
+	m.windows++
+	features := m.feat.Features(w)
+	npmf := m.feat.PMFOnly(features)
+
+	d := Decision{Window: w, Features: features, LOF: math.NaN()}
+
+	if !m.seeded {
+		// First window: seed the past pmf and be conservative — run LOF,
+		// since there is no past to compare against.
+		m.ppmf = npmf.Clone()
+		m.seeded = true
+		d.GateDist = math.Inf(1)
+		d.GateTripped = true
+	} else {
+		d.GateDist = m.cfg.GateDistance(npmf, m.ppmf)
+		d.GateTripped = d.GateDist > m.cfg.GateThreshold
+	}
+
+	if !d.GateTripped {
+		// Similar to the past: merge Npmf into Ppmf so slow drifts stay
+		// inside the gate (§II).
+		m.ppmf.Merge(npmf, m.cfg.MergeLambda)
+		return d
+	}
+
+	m.trips++
+	m.lofCalls++
+	d.LOF = m.model.Score(features)
+	d.Anomalous = d.LOF >= m.cfg.Alpha
+	if d.Anomalous {
+		m.anoms++
+	}
+	// Regime switch: the past pmf restarts at the new behaviour so the gate
+	// re-arms instead of tripping on every subsequent window of a changed
+	// but steady regime.
+	m.ppmf = npmf.Clone()
+	return d
+}
+
+// Stats reports monitor counters.
+func (m *Monitor) Stats() (windows, gateTrips, lofCalls, anomalies int) {
+	return m.windows, m.trips, m.lofCalls, m.anoms
+}
+
+// Learned bundles a fitted LOF model with the featurizer that produced its
+// points; both are needed to score new windows consistently.
+type Learned struct {
+	Model      *lof.Model
+	Featurizer pmf.Featurizer
+	// RefWindows is the number of reference windows the model was fitted
+	// on.
+	RefWindows int
+	// MeanCount is the mean event count per reference window (the rate
+	// feature's scale).
+	MeanCount float64
+}
+
+// Learn performs the paper's learning step (§II): the reference trace is
+// divided into windows, each window becomes a pmf point, and the point set
+// is fitted as a LOF model of correct behaviour.
+//
+// r should be a reference execution with no QoS errors — e.g.
+// trace.LimitReader over the first minutes of a run, or a curated trace
+// from internal/refdb.
+func Learn(cfg Config, r trace.Reader) (*Learned, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ws, err := window.Collect(r, cfg.NewWindower())
+	if err != nil {
+		return nil, fmt.Errorf("core: windowing reference trace: %w", err)
+	}
+	if len(ws) <= cfg.K {
+		return nil, fmt.Errorf("%w: %d reference windows, K=%d",
+			lof.ErrTooFewPoints, len(ws), cfg.K)
+	}
+	feat := pmf.Featurizer{
+		Dim:         cfg.NumTypes,
+		Smoothing:   cfg.Smoothing,
+		IncludeRate: cfg.IncludeRate,
+		RateScale:   pmf.MeanCount(ws),
+	}
+	points := make([][]float64, len(ws))
+	for i, w := range ws {
+		points[i] = feat.Features(w)
+	}
+	model, err := lof.Fit(points, cfg.K, cfg.LOFDistance, lof.FitOptions{
+		UseVPTree: cfg.UseVPTree,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Learned{
+		Model:      model,
+		Featurizer: feat,
+		RefWindows: len(ws),
+		MeanCount:  feat.RateScale,
+	}, nil
+}
+
+// RunStats summarises a monitoring run.
+type RunStats struct {
+	Windows    int
+	GateTrips  int
+	Anomalies  int
+	FullBytes  int64 // exact encoded size of the complete trace
+	RecBytes   int64 // bytes actually recorded
+	RecWindows int
+	Start, End time.Duration // trace time span covered
+}
+
+// ReductionFactor returns FullBytes / RecBytes (Inf when nothing was
+// recorded); the paper's headline metric.
+func (s RunStats) ReductionFactor() float64 {
+	if s.RecBytes == 0 {
+		return math.Inf(1)
+	}
+	return float64(s.FullBytes) / float64(s.RecBytes)
+}
+
+// Run streams a trace through the monitor, forwards anomalous windows to
+// sink, and invokes onDecision (if non-nil) for every window — the
+// evaluation harness uses the callback to label decisions against ground
+// truth. A *recorder.ContextSink passed as sink gets its Observe method
+// called on every window so pre/post context works.
+func Run(cfg Config, learned *Learned, r trace.Reader, sink recorder.Sink,
+	onDecision func(Decision) error) (RunStats, error) {
+
+	mon, err := NewMonitor(cfg, learned)
+	if err != nil {
+		return RunStats{}, err
+	}
+	var stats RunStats
+	acct := traceio.NewSizeAccountant()
+	ctxSink, _ := sink.(*recorder.ContextSink)
+
+	wdr := cfg.NewWindower()
+	process := func(w window.Window) error {
+		stats.Windows++
+		if stats.Windows == 1 {
+			stats.Start = w.Start
+		}
+		stats.End = w.End
+		d := mon.ProcessWindow(w)
+		if d.GateTripped {
+			stats.GateTrips++
+		}
+		if ctxSink != nil {
+			if err := ctxSink.Observe(w); err != nil {
+				return err
+			}
+		}
+		if d.Anomalous {
+			stats.Anomalies++
+			if sink != nil {
+				if err := sink.Record(w); err != nil {
+					return err
+				}
+			}
+		}
+		if onDecision != nil {
+			return onDecision(d)
+		}
+		return nil
+	}
+
+	byTime, _ := wdr.(*window.ByTime)
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return stats, err
+		}
+		if aerr := acct.Write(ev); aerr != nil {
+			return stats, aerr
+		}
+		if w, ok := wdr.Add(ev); ok {
+			if perr := process(w); perr != nil {
+				return stats, perr
+			}
+		}
+		if byTime != nil {
+			for {
+				w, ok := byTime.Drain()
+				if !ok {
+					break
+				}
+				if perr := process(w); perr != nil {
+					return stats, perr
+				}
+			}
+		}
+	}
+	if w, ok := wdr.Flush(); ok {
+		if perr := process(w); perr != nil {
+			return stats, perr
+		}
+	}
+
+	stats.FullBytes = acct.Bytes()
+	if sink != nil {
+		stats.RecBytes = sink.BytesWritten()
+		stats.RecWindows = sink.WindowsRecorded()
+	}
+	return stats, nil
+}

@@ -1,0 +1,243 @@
+package lof
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"enduratrace/internal/distance"
+)
+
+// Neighbor is one k-nearest-neighbour query result.
+type Neighbor struct {
+	Idx  int     // index of the neighbour in the fitted point set
+	Dist float64 // distance from the query to the neighbour
+}
+
+// Index answers k-nearest-neighbour queries over a fixed point set.
+//
+// KNN returns the k nearest points to q in ascending distance order (fewer
+// if the set is smaller than k). When skip >= 0, the point with that index
+// is excluded — used when querying a training point against its own set.
+type Index interface {
+	KNN(q []float64, k, skip int) []Neighbor
+	Len() int
+}
+
+// neighborHeap is a bounded max-heap on Dist used to keep the k best
+// candidates during a scan.
+type neighborHeap struct {
+	items []Neighbor
+	cap   int
+}
+
+func newNeighborHeap(k int) *neighborHeap {
+	return &neighborHeap{items: make([]Neighbor, 0, k), cap: k}
+}
+
+func (h *neighborHeap) worst() float64 {
+	if len(h.items) < h.cap {
+		return math.Inf(1)
+	}
+	return h.items[0].Dist
+}
+
+func (h *neighborHeap) push(n Neighbor) {
+	if len(h.items) < h.cap {
+		h.items = append(h.items, n)
+		h.up(len(h.items) - 1)
+		return
+	}
+	if n.Dist >= h.items[0].Dist {
+		return
+	}
+	h.items[0] = n
+	h.down(0)
+}
+
+func (h *neighborHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Dist >= h.items[i].Dist {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *neighborHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.items[l].Dist > h.items[largest].Dist {
+			largest = l
+		}
+		if r < n && h.items[r].Dist > h.items[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}
+
+func (h *neighborHeap) sorted() []Neighbor {
+	out := make([]Neighbor, len(h.items))
+	copy(out, h.items)
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out
+}
+
+// BruteIndex answers k-NN queries by linear scan. It accepts any
+// dissimilarity (including the non-metric KL family), which makes it the
+// default index for pmf points.
+type BruteIndex struct {
+	points [][]float64
+	dist   distance.Func
+}
+
+// NewBruteIndex builds a brute-force index over points. The slice is
+// retained, not copied.
+func NewBruteIndex(points [][]float64, dist distance.Func) *BruteIndex {
+	return &BruteIndex{points: points, dist: dist}
+}
+
+// Len implements Index.
+func (b *BruteIndex) Len() int { return len(b.points) }
+
+// KNN implements Index.
+func (b *BruteIndex) KNN(q []float64, k, skip int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	h := newNeighborHeap(k)
+	for i, p := range b.points {
+		if i == skip {
+			continue
+		}
+		d := b.dist(q, p)
+		if d < h.worst() {
+			h.push(Neighbor{Idx: i, Dist: d})
+		}
+	}
+	return h.sorted()
+}
+
+// VPTree is a vantage-point tree supporting k-NN queries under a metric
+// distance. Build is O(n log n) expected; queries prune using the triangle
+// inequality. Using it with a non-metric dissimilarity silently returns
+// wrong neighbours, so NewVPTree refuses non-metric distances.
+type VPTree struct {
+	points [][]float64
+	dist   distance.Func
+	root   *vpNode
+}
+
+type vpNode struct {
+	idx     int     // vantage point index into points
+	radius  float64 // median distance from vantage to its subtree points
+	inside  *vpNode // points with d <= radius
+	outside *vpNode
+}
+
+// NewVPTree builds a VP-tree over points. d must be a metric (d.Metric).
+// seed controls vantage-point selection; any fixed value gives a
+// deterministic tree.
+func NewVPTree(points [][]float64, d distance.Distance, seed int64) (*VPTree, error) {
+	if !d.Metric {
+		return nil, fmt.Errorf("lof: VP-tree requires a metric distance, %q is not", d.Name)
+	}
+	t := &VPTree{points: points, dist: d.F}
+	idxs := make([]int, len(points))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t.root = t.build(idxs, rng)
+	return t, nil
+}
+
+func (t *VPTree) build(idxs []int, rng *rand.Rand) *vpNode {
+	if len(idxs) == 0 {
+		return nil
+	}
+	// Pick a random vantage point and move it to the front.
+	vi := rng.Intn(len(idxs))
+	idxs[0], idxs[vi] = idxs[vi], idxs[0]
+	node := &vpNode{idx: idxs[0]}
+	rest := idxs[1:]
+	if len(rest) == 0 {
+		return node
+	}
+	vp := t.points[node.idx]
+	dists := make([]float64, len(rest))
+	for i, id := range rest {
+		dists[i] = t.dist(vp, t.points[id])
+	}
+	// Partition around the median distance.
+	order := make([]int, len(rest))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
+	mid := len(order) / 2
+	node.radius = dists[order[mid]]
+	inside := make([]int, 0, mid+1)
+	outside := make([]int, 0, len(order)-mid)
+	for _, o := range order {
+		if dists[o] <= node.radius {
+			inside = append(inside, rest[o])
+		} else {
+			outside = append(outside, rest[o])
+		}
+	}
+	// Degenerate case: all points at the same distance end up inside; split
+	// arbitrarily to guarantee progress.
+	if len(outside) == 0 && len(inside) > 1 {
+		half := len(inside) / 2
+		outside = inside[half:]
+		inside = inside[:half]
+	}
+	node.inside = t.build(inside, rng)
+	node.outside = t.build(outside, rng)
+	return node
+}
+
+// Len implements Index.
+func (t *VPTree) Len() int { return len(t.points) }
+
+// KNN implements Index.
+func (t *VPTree) KNN(q []float64, k, skip int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	h := newNeighborHeap(k)
+	t.search(t.root, q, skip, h)
+	return h.sorted()
+}
+
+func (t *VPTree) search(n *vpNode, q []float64, skip int, h *neighborHeap) {
+	if n == nil {
+		return
+	}
+	d := t.dist(q, t.points[n.idx])
+	if n.idx != skip && d < h.worst() {
+		h.push(Neighbor{Idx: n.idx, Dist: d})
+	}
+	if d <= n.radius {
+		t.search(n.inside, q, skip, h)
+		if d+h.worst() >= n.radius {
+			t.search(n.outside, q, skip, h)
+		}
+	} else {
+		t.search(n.outside, q, skip, h)
+		if d-h.worst() <= n.radius {
+			t.search(n.inside, q, skip, h)
+		}
+	}
+}

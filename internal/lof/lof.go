@@ -1,0 +1,176 @@
+// Package lof implements the Local Outlier Factor anomaly score of Breunig,
+// Kriegel, Ng & Sander (SIGMOD 2000), the detector at the heart of the
+// paper's monitoring approach (§II).
+//
+// A Model is fitted on the pmf points of a reference trace (the learning
+// step). Scoring a new point compares the density around it with the
+// density around its K nearest reference points: LOF ≈ 1 means the point
+// sits inside a cluster of regular behaviour, LOF ≥ α > 1 flags an outlier.
+package lof
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"enduratrace/internal/distance"
+)
+
+// Model is a fitted LOF reference model. It retains the reference points
+// and the per-point quantities (k-distance, local reachability density)
+// needed to score unseen points in O(k·n) with the brute index or
+// O(k·log n) expected with a VP-tree.
+type Model struct {
+	K      int
+	Points [][]float64
+	Dist   distance.Distance
+
+	index Index
+	// Per reference point, computed at fit time:
+	kdist []float64    // distance to the K-th nearest reference neighbour
+	nbrs  [][]Neighbor // the K nearest reference neighbours
+	lrd   []float64    // local reachability density
+}
+
+// ErrTooFewPoints is returned when the reference set cannot support K
+// neighbours per point.
+var ErrTooFewPoints = errors.New("lof: reference set too small for K")
+
+// FitOptions tunes model construction.
+type FitOptions struct {
+	// UseVPTree selects the VP-tree k-NN index; requires a metric distance.
+	// The default brute-force index works with any dissimilarity.
+	UseVPTree bool
+	// Seed controls VP-tree vantage selection (ignored for brute force).
+	Seed int64
+}
+
+// Fit builds a LOF model over the reference points with neighbourhood size
+// k. points must contain at least k+1 vectors of equal dimension. The point
+// slice is retained.
+func Fit(points [][]float64, k int, d distance.Distance, opts FitOptions) (*Model, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("lof: K must be positive, got %d", k)
+	}
+	if len(points) <= k {
+		return nil, fmt.Errorf("%w: %d points, K=%d", ErrTooFewPoints, len(points), k)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("lof: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	m := &Model{K: k, Points: points, Dist: d}
+	if opts.UseVPTree {
+		t, err := NewVPTree(points, d, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m.index = t
+	} else {
+		m.index = NewBruteIndex(points, d.F)
+	}
+
+	n := len(points)
+	m.kdist = make([]float64, n)
+	m.nbrs = make([][]Neighbor, n)
+	m.lrd = make([]float64, n)
+
+	for i, p := range points {
+		nb := m.index.KNN(p, k, i)
+		m.nbrs[i] = nb
+		m.kdist[i] = nb[len(nb)-1].Dist
+	}
+	for i := range points {
+		m.lrd[i] = m.lrdOf(m.nbrs[i])
+	}
+	return m, nil
+}
+
+// lrdOf computes the local reachability density given a point's K nearest
+// neighbours: 1 / mean(reach-dist), where
+// reach-dist(p, o) = max(kdist(o), d(p, o)).
+// A zero mean reachability (duplicated points) yields +Inf, per the paper's
+// convention for duplicate-heavy data.
+func (m *Model) lrdOf(nbrs []Neighbor) float64 {
+	var sum float64
+	for _, nb := range nbrs {
+		rd := nb.Dist
+		if kd := m.kdist[nb.Idx]; kd > rd {
+			rd = kd
+		}
+		sum += rd
+	}
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	return float64(len(nbrs)) / sum
+}
+
+// Score returns the LOF of an unseen point q against the reference model.
+// Values near 1 indicate q is embedded in a cluster of regular reference
+// points; values >= alpha > 1 indicate an outlier (§II).
+func (m *Model) Score(q []float64) float64 {
+	nbrs := m.index.KNN(q, m.K, -1)
+	lrdQ := m.lrdOf(nbrs)
+	return m.ratioMean(nbrs, lrdQ)
+}
+
+// ScoreTrain returns the classic LOF of reference point i within the
+// reference set itself (its own point excluded from its neighbourhood).
+// It is used by tests against hand-checked examples and by threshold
+// diagnostics.
+func (m *Model) ScoreTrain(i int) float64 {
+	return m.ratioMean(m.nbrs[i], m.lrd[i])
+}
+
+func (m *Model) ratioMean(nbrs []Neighbor, lrdP float64) float64 {
+	if len(nbrs) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, nb := range nbrs {
+		sum += lrdRatio(m.lrd[nb.Idx], lrdP)
+	}
+	return sum / float64(len(nbrs))
+}
+
+// lrdRatio computes lrdO/lrdP with the Inf conventions: Inf/Inf = 1 (a
+// duplicate point inside a cluster of duplicates is perfectly regular),
+// finite/Inf = 0, Inf/finite = +Inf.
+func lrdRatio(lrdO, lrdP float64) float64 {
+	oInf, pInf := math.IsInf(lrdO, 1), math.IsInf(lrdP, 1)
+	switch {
+	case oInf && pInf:
+		return 1
+	case pInf:
+		return 0
+	case oInf:
+		return math.Inf(1)
+	default:
+		return lrdO / lrdP
+	}
+}
+
+// TrainScores returns the LOF of every reference point within the reference
+// set. Useful to choose alpha: the (1-ε) quantile of training scores is a
+// natural floor for the threshold.
+func (m *Model) TrainScores() []float64 {
+	out := make([]float64, len(m.Points))
+	for i := range m.Points {
+		out[i] = m.ScoreTrain(i)
+	}
+	return out
+}
+
+// Dim returns the dimensionality of the reference points.
+func (m *Model) Dim() int {
+	if len(m.Points) == 0 {
+		return 0
+	}
+	return len(m.Points[0])
+}
+
+// Len returns the number of reference points.
+func (m *Model) Len() int { return len(m.Points) }

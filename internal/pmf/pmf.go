@@ -1,0 +1,218 @@
+// Package pmf implements the probability-mass-function window abstraction
+// of §II: each trace window is summarised as a vector giving, for each
+// event type, the occurrence frequency of that type in the window. These
+// vectors are the points LOF operates on and the operands of the
+// Kullback–Leibler gate.
+package pmf
+
+import (
+	"fmt"
+	"math"
+
+	"enduratrace/internal/trace"
+	"enduratrace/internal/window"
+)
+
+// Vector is a discrete distribution over event types: Vector[i] is the
+// probability of event type i. A valid Vector is non-negative and sums to 1
+// (within floating-point tolerance); the zero-length Vector is invalid.
+type Vector []float64
+
+// Counts is a raw per-type occurrence count for one window, before
+// normalisation. Keeping counts separate lets the monitor also use the
+// total event rate, which pure pmfs normalise away.
+type Counts []float64
+
+// FromWindow builds the per-type counts of a window. Event types >= dim are
+// folded into the last bucket so that an unregistered type cannot index out
+// of range (this mirrors real trace decoders, which map unknown records to
+// an "other" channel).
+func FromWindow(w window.Window, dim int) Counts {
+	c := make(Counts, dim)
+	for _, ev := range w.Events {
+		i := int(ev.Type)
+		if i >= dim {
+			i = dim - 1
+		}
+		c[i]++
+	}
+	return c
+}
+
+// Total returns the sum of counts (the window's event count).
+func (c Counts) Total() float64 {
+	var s float64
+	for _, v := range c {
+		s += v
+	}
+	return s
+}
+
+// Normalize converts counts to a pmf using additive (Laplace) smoothing with
+// parameter eps >= 0. Smoothing keeps every component strictly positive so
+// that Kullback–Leibler divergence is finite; eps = 0 gives the plain
+// maximum-likelihood pmf (components may be zero). An all-zero count vector
+// normalises to the uniform distribution: an empty window carries no type
+// information.
+func (c Counts) Normalize(eps float64) Vector {
+	n := len(c)
+	v := make(Vector, n)
+	total := c.Total() + eps*float64(n)
+	if total == 0 {
+		u := 1.0 / float64(n)
+		for i := range v {
+			v[i] = u
+		}
+		return v
+	}
+	for i, x := range c {
+		v[i] = (x + eps) / total
+	}
+	return v
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Validate returns an error unless v is a proper distribution.
+func (v Vector) Validate() error {
+	if len(v) == 0 {
+		return fmt.Errorf("pmf: empty vector")
+	}
+	var s float64
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("pmf: component %d is %v", i, x)
+		}
+		if x < 0 {
+			return fmt.Errorf("pmf: negative component %d = %g", i, x)
+		}
+		s += x
+	}
+	if math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("pmf: components sum to %g, want 1", s)
+	}
+	return nil
+}
+
+// Merge updates v in place as an exponentially-weighted average with n:
+//
+//	v = (1-lambda)*v + lambda*n
+//
+// This is the paper's Ppmf update: when the new window is similar to the
+// past, it is merged into the past pmf so the model tracks slow behaviour
+// drift (§II, "Online anomaly detection"). lambda must be in (0, 1].
+func (v Vector) Merge(n Vector, lambda float64) {
+	if len(v) != len(n) {
+		panic(fmt.Sprintf("pmf: merging vectors of different dimension %d != %d", len(v), len(n)))
+	}
+	if lambda <= 0 || lambda > 1 {
+		panic(fmt.Sprintf("pmf: merge weight %g outside (0,1]", lambda))
+	}
+	for i := range v {
+		v[i] = (1-lambda)*v[i] + lambda*n[i]
+	}
+}
+
+// Entropy returns the Shannon entropy of v in nats.
+func (v Vector) Entropy() float64 {
+	var h float64
+	for _, p := range v {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// Uniform returns the uniform distribution of dimension dim.
+func Uniform(dim int) Vector {
+	v := make(Vector, dim)
+	u := 1.0 / float64(dim)
+	for i := range v {
+		v[i] = u
+	}
+	return v
+}
+
+// Featurizer converts windows into the feature vectors consumed by the
+// detector. The paper uses the plain pmf; IncludeRate optionally appends a
+// normalised event-rate component so that pure rate collapses (a stalled
+// decoder emitting the same mix, only slower) remain visible. RateScale is
+// the event count mapped to rate feature 1.0 (typically the reference
+// windows' mean count).
+type Featurizer struct {
+	Dim         int     // number of event types (vector dimensionality)
+	Smoothing   float64 // additive smoothing epsilon
+	IncludeRate bool    // append event-rate feature
+	RateScale   float64 // count mapped to 1.0 when IncludeRate
+}
+
+// FeatureDim reports the dimensionality of produced feature vectors.
+func (f Featurizer) FeatureDim() int {
+	if f.IncludeRate {
+		return f.Dim + 1
+	}
+	return f.Dim
+}
+
+// Features converts one window into a feature vector.
+//
+// Note: with IncludeRate the result is no longer a distribution (it does not
+// sum to 1); it remains a valid LOF point but must not be fed to KL-style
+// divergences. The monitor keeps the KL gate on the pmf prefix.
+func (f Featurizer) Features(w window.Window) Vector {
+	c := FromWindow(w, f.Dim)
+	v := c.Normalize(f.Smoothing)
+	if !f.IncludeRate {
+		return v
+	}
+	out := make(Vector, f.Dim+1)
+	copy(out, v)
+	scale := f.RateScale
+	if scale <= 0 {
+		scale = 1
+	}
+	r := c.Total() / scale
+	if r > 1 {
+		r = 1 // saturate: only rate *drops* matter for stalls
+	}
+	out[f.Dim] = r
+	return out
+}
+
+// PMFOnly returns the pmf prefix of a feature vector produced by Features.
+func (f Featurizer) PMFOnly(v Vector) Vector {
+	return v[:f.Dim]
+}
+
+// MeanCount returns the mean event count per window over ws; it is the
+// recommended RateScale for a reference trace.
+func MeanCount(ws []window.Window) float64 {
+	if len(ws) == 0 {
+		return 0
+	}
+	var s float64
+	for _, w := range ws {
+		s += float64(len(w.Events))
+	}
+	return s / float64(len(ws))
+}
+
+// TypeCountsOver accumulates total per-type counts across an event slice;
+// a convenience for summary statistics and tests.
+func TypeCountsOver(evs []trace.Event, dim int) Counts {
+	c := make(Counts, dim)
+	for _, ev := range evs {
+		i := int(ev.Type)
+		if i >= dim {
+			i = dim - 1
+		}
+		c[i]++
+	}
+	return c
+}

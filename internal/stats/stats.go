@@ -1,0 +1,251 @@
+// Package stats supplies the small statistical helpers the harness needs:
+// streaming moments (Welford), quantiles, histograms, exponential averages
+// and autocorrelation (the basis of the periodicity extension in
+// internal/period).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates count, mean and variance in one pass using Welford's
+// algorithm. The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of samples.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest sample (0 with no samples).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (0 with no samples).
+func (r *Running) Max() float64 { return r.max }
+
+// String summarises the accumulator.
+func (r *Running) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g", r.n, r.Mean(), r.Std(), r.min, r.max)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %g outside [0,1]", q))
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the unbiased sample standard deviation of xs.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// EWMA is an exponentially-weighted moving average. The zero value is
+// unseeded; the first Add seeds it.
+type EWMA struct {
+	Lambda float64 // weight of the newest sample, in (0,1]
+	value  float64
+	seeded bool
+}
+
+// Add folds x into the average and returns the updated value.
+func (e *EWMA) Add(x float64) float64 {
+	if e.Lambda <= 0 || e.Lambda > 1 {
+		panic(fmt.Sprintf("stats: EWMA lambda %g outside (0,1]", e.Lambda))
+	}
+	if !e.seeded {
+		e.value = x
+		e.seeded = true
+		return x
+	}
+	e.value = (1-e.Lambda)*e.value + e.Lambda*x
+	return e.value
+}
+
+// Value returns the current average (0 before the first Add).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Seeded reports whether any sample has been added.
+func (e *EWMA) Seeded() bool { return e.seeded }
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); samples outside the
+// range land in the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: bad histogram parameters lo=%g hi=%g n=%d", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Bins)
+	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Bins[i]++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, b := range h.Bins {
+		t += b
+	}
+	return t
+}
+
+// BinCenter returns the centre value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Autocorr returns the normalised autocorrelation of xs at the given lags:
+// r[k] = Σ (x_t - m)(x_{t+k} - m) / Σ (x_t - m)², for each k in lags.
+// A constant series has autocorrelation 0 at every positive lag.
+func Autocorr(xs []float64, lags []int) []float64 {
+	out := make([]float64, len(lags))
+	n := len(xs)
+	if n == 0 {
+		return out
+	}
+	m := Mean(xs)
+	var denom float64
+	for _, x := range xs {
+		d := x - m
+		denom += d * d
+	}
+	if denom == 0 {
+		return out
+	}
+	for i, k := range lags {
+		if k < 0 || k >= n {
+			out[i] = 0
+			continue
+		}
+		var num float64
+		for t := 0; t+k < n; t++ {
+			num += (xs[t] - m) * (xs[t+k] - m)
+		}
+		out[i] = num / denom
+	}
+	return out
+}
+
+// ArgmaxAutocorr scans lags in [minLag, maxLag] and returns the lag with the
+// highest autocorrelation together with that correlation value. It returns
+// lag 0 and correlation 0 when the range is empty or the series is constant.
+func ArgmaxAutocorr(xs []float64, minLag, maxLag int) (int, float64) {
+	if minLag < 1 {
+		minLag = 1
+	}
+	if maxLag >= len(xs) {
+		maxLag = len(xs) - 1
+	}
+	if minLag > maxLag {
+		return 0, 0
+	}
+	lags := make([]int, 0, maxLag-minLag+1)
+	for k := minLag; k <= maxLag; k++ {
+		lags = append(lags, k)
+	}
+	rs := Autocorr(xs, lags)
+	best, bestV := 0, math.Inf(-1)
+	for i, r := range rs {
+		if r > bestV {
+			best, bestV = lags[i], r
+		}
+	}
+	if math.IsInf(bestV, -1) {
+		return 0, 0
+	}
+	return best, bestV
+}

@@ -1,0 +1,322 @@
+// Package trace defines the execution-trace event model shared by every
+// other package in enduratrace.
+//
+// A trace is a sequence of timestamped, typed events, exactly as produced by
+// the dedicated low-intrusion tracing hardware described in the paper
+// (§I–§II): each event carries a timestamp, a small integer event type, an
+// integer argument and an optional opaque payload. Event types are declared
+// in a Registry so that tools can print symbolic names and so that the
+// pmf dimensionality (one dimension per event type) is known up front.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// EventType identifies the kind of a trace event. Types are small integers
+// so that a window's event-type histogram can be a dense vector.
+type EventType uint16
+
+// Event is a single timestamped trace record.
+//
+// TS is the time since the start of the trace (simulated time for synthetic
+// workloads). Arg is an event-specific integer (frame number, queue depth,
+// error code…). Payload carries opaque extra bytes; it exists chiefly so
+// that encoded trace sizes are realistic, which matters because the paper's
+// headline result is a byte-size reduction factor.
+type Event struct {
+	TS      time.Duration
+	Type    EventType
+	Arg     uint64
+	Payload []byte
+}
+
+// String renders the event for debugging; symbolic names require a Registry.
+func (e Event) String() string {
+	return fmt.Sprintf("%v type=%d arg=%d payload=%dB", e.TS, e.Type, e.Arg, len(e.Payload))
+}
+
+// Reader is a stream of events. Next returns io.EOF after the last event.
+// Implementations must return events in non-decreasing timestamp order.
+type Reader interface {
+	Next() (Event, error)
+}
+
+// Writer consumes a stream of events.
+type Writer interface {
+	Write(Event) error
+}
+
+// ErrOutOfOrder is returned by writers and validators when an event's
+// timestamp precedes its predecessor's.
+var ErrOutOfOrder = errors.New("trace: event timestamps out of order")
+
+// SliceReader replays an in-memory event slice. The zero value is an empty
+// trace.
+type SliceReader struct {
+	events []Event
+	pos    int
+}
+
+// NewSliceReader returns a Reader over evs. The slice is not copied.
+func NewSliceReader(evs []Event) *SliceReader {
+	return &SliceReader{events: evs}
+}
+
+// Next implements Reader.
+func (r *SliceReader) Next() (Event, error) {
+	if r.pos >= len(r.events) {
+		return Event{}, io.EOF
+	}
+	ev := r.events[r.pos]
+	r.pos++
+	return ev, nil
+}
+
+// Reset rewinds the reader to the first event.
+func (r *SliceReader) Reset() { r.pos = 0 }
+
+// Collector is a Writer that appends every event to an in-memory slice.
+type Collector struct {
+	Events []Event
+}
+
+// Write implements Writer.
+func (c *Collector) Write(ev Event) error {
+	c.Events = append(c.Events, ev)
+	return nil
+}
+
+// ReadAll drains r into a slice. It is intended for tests and small traces;
+// endurance-scale traces should be streamed.
+func ReadAll(r Reader) ([]Event, error) {
+	var evs []Event
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			return evs, nil
+		}
+		if err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+}
+
+// Copy streams every event from r to w and reports the number of events
+// copied. It stops at io.EOF or the first error from either side.
+func Copy(w Writer, r Reader) (int, error) {
+	n := 0
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := w.Write(ev); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// LimitReader returns a Reader that yields at most the events of r whose
+// timestamp is strictly below limit. It is used to cut a reference prefix
+// (e.g. the first 300 s) out of a longer trace, as the paper's learning step
+// does.
+func LimitReader(r Reader, limit time.Duration) Reader {
+	return &limitReader{r: r, limit: limit}
+}
+
+type limitReader struct {
+	r     Reader
+	limit time.Duration
+	done  bool
+}
+
+func (l *limitReader) Next() (Event, error) {
+	if l.done {
+		return Event{}, io.EOF
+	}
+	ev, err := l.r.Next()
+	if err != nil {
+		return Event{}, err
+	}
+	if ev.TS >= l.limit {
+		l.done = true
+		return Event{}, io.EOF
+	}
+	return ev, nil
+}
+
+// ValidatingReader wraps r and returns ErrOutOfOrder if timestamps regress.
+type ValidatingReader struct {
+	r    Reader
+	last time.Duration
+	seen bool
+}
+
+// NewValidatingReader returns a Reader that enforces timestamp monotonicity.
+func NewValidatingReader(r Reader) *ValidatingReader {
+	return &ValidatingReader{r: r}
+}
+
+// Next implements Reader.
+func (v *ValidatingReader) Next() (Event, error) {
+	ev, err := v.r.Next()
+	if err != nil {
+		return ev, err
+	}
+	if v.seen && ev.TS < v.last {
+		return ev, fmt.Errorf("%w: %v after %v", ErrOutOfOrder, ev.TS, v.last)
+	}
+	v.seen = true
+	v.last = ev.TS
+	return ev, nil
+}
+
+// MultiReader concatenates several readers in order. Each reader is expected
+// to begin at or after the previous reader's final timestamp; wrap with
+// NewValidatingReader to enforce that.
+func MultiReader(readers ...Reader) Reader {
+	return &multiReader{readers: readers}
+}
+
+type multiReader struct {
+	readers []Reader
+}
+
+func (m *multiReader) Next() (Event, error) {
+	for len(m.readers) > 0 {
+		ev, err := m.readers[0].Next()
+		if err == io.EOF {
+			m.readers = m.readers[1:]
+			continue
+		}
+		return ev, err
+	}
+	return Event{}, io.EOF
+}
+
+// MergeReaders merges several timestamp-ordered readers into one ordered
+// stream, the way multiple hardware trace sources (CPU, DMA, peripherals)
+// are multiplexed into one trace port.
+func MergeReaders(readers ...Reader) Reader {
+	m := &mergeReader{}
+	for _, r := range readers {
+		ev, err := r.Next()
+		if err == io.EOF {
+			continue
+		}
+		m.heads = append(m.heads, mergeHead{ev: ev, err: err, r: r})
+	}
+	return m
+}
+
+type mergeHead struct {
+	ev  Event
+	err error
+	r   Reader
+}
+
+type mergeReader struct {
+	heads []mergeHead
+}
+
+func (m *mergeReader) Next() (Event, error) {
+	if len(m.heads) == 0 {
+		return Event{}, io.EOF
+	}
+	best := 0
+	for i := 1; i < len(m.heads); i++ {
+		if m.heads[i].err == nil && (m.heads[best].err != nil || m.heads[i].ev.TS < m.heads[best].ev.TS) {
+			best = i
+		}
+	}
+	h := m.heads[best]
+	if h.err != nil {
+		return Event{}, h.err
+	}
+	next, err := h.r.Next()
+	if err == io.EOF {
+		m.heads = append(m.heads[:best], m.heads[best+1:]...)
+	} else {
+		m.heads[best] = mergeHead{ev: next, err: err, r: h.r}
+	}
+	return h.ev, nil
+}
+
+// Registry maps event types to symbolic names. It defines the pmf
+// dimensionality: NumTypes is one past the highest registered type.
+type Registry struct {
+	names map[EventType]string
+	max   EventType
+	any   bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[EventType]string)}
+}
+
+// Register assigns name to t. Registering the same type twice with a
+// different name is a programming error and panics.
+func (reg *Registry) Register(t EventType, name string) {
+	if old, ok := reg.names[t]; ok && old != name {
+		panic(fmt.Sprintf("trace: event type %d registered twice (%q, %q)", t, old, name))
+	}
+	reg.names[t] = name
+	if !reg.any || t > reg.max {
+		reg.max = t
+		reg.any = true
+	}
+}
+
+// Name returns the symbolic name of t, or "type<N>" if unregistered.
+func (reg *Registry) Name(t EventType) string {
+	if n, ok := reg.names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("type%d", t)
+}
+
+// Lookup returns the type registered under name.
+func (reg *Registry) Lookup(name string) (EventType, bool) {
+	for t, n := range reg.names {
+		if n == name {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// NumTypes reports the pmf dimensionality implied by the registry: one past
+// the highest registered event type, or 0 for an empty registry.
+func (reg *Registry) NumTypes() int {
+	if !reg.any {
+		return 0
+	}
+	return int(reg.max) + 1
+}
+
+// Types returns all registered types in ascending order.
+func (reg *Registry) Types() []EventType {
+	ts := make([]EventType, 0, len(reg.names))
+	for t := range reg.names {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts
+}
+
+// Writer adapter so an io-style callback can consume events.
+type WriterFunc func(Event) error
+
+// Write implements Writer.
+func (f WriterFunc) Write(ev Event) error { return f(ev) }

@@ -1,0 +1,87 @@
+package traceio
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"enduratrace/internal/trace"
+)
+
+// TextWriter encodes events as CSV lines: ts_ns,type,arg,hex(payload).
+// The text codec exists for human inspection and interoperability with
+// spreadsheet/gnuplot tooling; size accounting always uses the binary codec.
+type TextWriter struct {
+	w   *bufio.Writer
+	reg *trace.Registry // optional: emit symbolic names
+}
+
+// NewTextWriter creates a CSV trace writer. reg may be nil; when provided,
+// a fifth column with the symbolic event name is appended.
+func NewTextWriter(w io.Writer, reg *trace.Registry) *TextWriter {
+	return &TextWriter{w: bufio.NewWriter(w), reg: reg}
+}
+
+// Write implements trace.Writer.
+func (tw *TextWriter) Write(ev trace.Event) error {
+	var err error
+	if tw.reg != nil {
+		_, err = fmt.Fprintf(tw.w, "%d,%d,%d,%s,%s\n",
+			ev.TS.Nanoseconds(), ev.Type, ev.Arg, hex.EncodeToString(ev.Payload), tw.reg.Name(ev.Type))
+	} else {
+		_, err = fmt.Fprintf(tw.w, "%d,%d,%d,%s\n",
+			ev.TS.Nanoseconds(), ev.Type, ev.Arg, hex.EncodeToString(ev.Payload))
+	}
+	return err
+}
+
+// Flush forces buffered bytes out.
+func (tw *TextWriter) Flush() error { return tw.w.Flush() }
+
+// TextReader decodes the CSV trace format produced by TextWriter.
+type TextReader struct {
+	r *csv.Reader
+}
+
+// NewTextReader returns a reader over CSV trace lines.
+func NewTextReader(r io.Reader) *TextReader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // allow the optional name column
+	cr.ReuseRecord = true
+	return &TextReader{r: cr}
+}
+
+// Next implements trace.Reader.
+func (tr *TextReader) Next() (trace.Event, error) {
+	rec, err := tr.r.Read()
+	if err != nil {
+		return trace.Event{}, err
+	}
+	if len(rec) < 4 {
+		return trace.Event{}, fmt.Errorf("traceio: short CSV record (%d fields)", len(rec))
+	}
+	ns, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return trace.Event{}, fmt.Errorf("traceio: bad timestamp %q: %w", rec[0], err)
+	}
+	typ, err := strconv.ParseUint(rec[1], 10, 16)
+	if err != nil {
+		return trace.Event{}, fmt.Errorf("traceio: bad type %q: %w", rec[1], err)
+	}
+	arg, err := strconv.ParseUint(rec[2], 10, 64)
+	if err != nil {
+		return trace.Event{}, fmt.Errorf("traceio: bad arg %q: %w", rec[2], err)
+	}
+	var payload []byte
+	if rec[3] != "" {
+		payload, err = hex.DecodeString(rec[3])
+		if err != nil {
+			return trace.Event{}, fmt.Errorf("traceio: bad payload %q: %w", rec[3], err)
+		}
+	}
+	return trace.Event{TS: time.Duration(ns), Type: trace.EventType(typ), Arg: arg, Payload: payload}, nil
+}

@@ -1,0 +1,218 @@
+// Package window slices a trace stream into the elementary processing units
+// of the paper's approach (§II, "Data representation"): windows of N
+// consecutive events, as delivered by the tracing hardware's buffers, or
+// fixed-duration time windows (the experiment in §III uses 40 ms windows).
+package window
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"enduratrace/internal/trace"
+)
+
+// Window is a contiguous slice of a trace.
+//
+// For count windows, Start/End are the first/last event timestamps; for time
+// windows they are the window boundaries (End exclusive). Index counts
+// windows from 0 in stream order.
+type Window struct {
+	Index  int
+	Start  time.Duration
+	End    time.Duration
+	Events []trace.Event
+}
+
+// Duration returns End - Start.
+func (w Window) Duration() time.Duration { return w.End - w.Start }
+
+// Len returns the number of events in the window.
+func (w Window) Len() int { return len(w.Events) }
+
+// Contains reports whether ts lies in [Start, End).
+func (w Window) Contains(ts time.Duration) bool { return ts >= w.Start && ts < w.End }
+
+// Windower turns an event stream into a window stream. Add consumes one
+// event and reports a completed window when one closes. Flush returns the
+// final partial window, if any. A Windower is single-use.
+type Windower interface {
+	Add(trace.Event) (Window, bool)
+	Flush() (Window, bool)
+}
+
+// ByCount groups every n consecutive events into a window, mirroring
+// hardware trace buffers of n entries.
+type ByCount struct {
+	n     int
+	buf   []trace.Event
+	index int
+}
+
+// NewByCount returns a count windower; n must be positive.
+func NewByCount(n int) *ByCount {
+	if n <= 0 {
+		panic(fmt.Sprintf("window: ByCount size must be positive, got %d", n))
+	}
+	return &ByCount{n: n, buf: make([]trace.Event, 0, n)}
+}
+
+// Add implements Windower.
+func (c *ByCount) Add(ev trace.Event) (Window, bool) {
+	c.buf = append(c.buf, ev)
+	if len(c.buf) < c.n {
+		return Window{}, false
+	}
+	return c.emit(), true
+}
+
+// Flush implements Windower.
+func (c *ByCount) Flush() (Window, bool) {
+	if len(c.buf) == 0 {
+		return Window{}, false
+	}
+	return c.emit(), true
+}
+
+func (c *ByCount) emit() Window {
+	events := make([]trace.Event, len(c.buf))
+	copy(events, c.buf)
+	w := Window{
+		Index:  c.index,
+		Start:  events[0].TS,
+		End:    events[len(events)-1].TS,
+		Events: events,
+	}
+	c.index++
+	c.buf = c.buf[:0]
+	return w
+}
+
+// ByTime groups events into fixed-duration windows aligned to multiples of
+// the window length. Empty windows ARE emitted for gaps in the stream:
+// during a decoder stall the event rate collapses, and those near-empty
+// windows are precisely the behaviour change the monitor must see.
+type ByTime struct {
+	d       time.Duration
+	buf     []trace.Event
+	index   int
+	cur     time.Duration // start of the current window
+	started bool
+	pending []Window
+}
+
+// NewByTime returns a time windower; d must be positive.
+func NewByTime(d time.Duration) *ByTime {
+	if d <= 0 {
+		panic(fmt.Sprintf("window: ByTime duration must be positive, got %v", d))
+	}
+	return &ByTime{d: d}
+}
+
+// Add implements Windower. When an event jumps several window lengths
+// ahead, the intervening empty windows are queued and returned one per
+// subsequent Add/Drain call; callers should use Drain after each Add to
+// collect all completed windows.
+func (t *ByTime) Add(ev trace.Event) (Window, bool) {
+	if !t.started {
+		t.started = true
+		t.cur = ev.TS - ev.TS%t.d
+	}
+	for ev.TS >= t.cur+t.d {
+		t.pending = append(t.pending, t.emit())
+	}
+	t.buf = append(t.buf, ev)
+	return t.pop()
+}
+
+// Drain returns the next queued completed window, if any. Call repeatedly
+// after Add until ok is false.
+func (t *ByTime) Drain() (Window, bool) { return t.pop() }
+
+// Flush implements Windower: it closes the current window if it holds any
+// events. Queued windows must be collected with Drain first.
+func (t *ByTime) Flush() (Window, bool) {
+	if w, ok := t.pop(); ok {
+		return w, ok
+	}
+	if !t.started || len(t.buf) == 0 {
+		return Window{}, false
+	}
+	return t.emit(), true
+}
+
+func (t *ByTime) pop() (Window, bool) {
+	if len(t.pending) == 0 {
+		return Window{}, false
+	}
+	w := t.pending[0]
+	t.pending = t.pending[1:]
+	return w, true
+}
+
+func (t *ByTime) emit() Window {
+	events := make([]trace.Event, len(t.buf))
+	copy(events, t.buf)
+	w := Window{
+		Index:  t.index,
+		Start:  t.cur,
+		End:    t.cur + t.d,
+		Events: events,
+	}
+	t.index++
+	t.buf = t.buf[:0]
+	t.cur += t.d
+	return w
+}
+
+// Stream applies a windower to a reader and invokes fn for every completed
+// window including the final flush. fn returning an error aborts the stream.
+func Stream(r trace.Reader, w Windower, fn func(Window) error) error {
+	byTime, _ := w.(*ByTime)
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if win, ok := w.Add(ev); ok {
+			if err := fn(win); err != nil {
+				return err
+			}
+		}
+		if byTime != nil {
+			for {
+				win, ok := byTime.Drain()
+				if !ok {
+					break
+				}
+				if err := fn(win); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for {
+		win, ok := w.Flush()
+		if !ok {
+			break
+		}
+		if err := fn(win); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collect gathers every window produced from r into a slice. Intended for
+// tests and small traces.
+func Collect(r trace.Reader, w Windower) ([]Window, error) {
+	var out []Window
+	err := Stream(r, w, func(win Window) error {
+		out = append(out, win)
+		return nil
+	})
+	return out, err
+}
