@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt-check ci eval
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# The full tier-1 gate, same as the GitHub Actions workflow.
+ci: fmt-check vet build race
+
+# Run the §III experiment and drop the JSON report next to the repo.
+eval:
+	$(GO) run ./cmd/enduratrace eval -out BENCH_eval.json

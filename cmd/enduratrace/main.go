@@ -1,0 +1,60 @@
+// Command enduratrace drives the paper reproduction end-to-end:
+//
+//	enduratrace sim      simulate a pipeline run and write its trace
+//	enduratrace learn    fit a reference model from a trace
+//	enduratrace monitor  monitor a trace with a learned model
+//	enduratrace eval     run the full §III experiment and report metrics
+//
+// Every subcommand prints a human summary to stderr; machine-readable JSON
+// goes to stdout (monitor/learn behind -json, eval always).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "sim":
+		err = cmdSim(os.Args[2:])
+	case "learn":
+		err = cmdLearn(os.Args[2:])
+	case "monitor":
+		err = cmdMonitor(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "enduratrace: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err == flag.ErrHelp {
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "enduratrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: enduratrace <subcommand> [flags]
+
+subcommands:
+  sim      simulate a multimedia pipeline run and write its trace
+  learn    fit a reference model (LOF over window pmfs) from a trace
+  monitor  replay a trace through the online monitor, record anomalies
+  eval     run the full reference+perturbed experiment and score it
+
+run 'enduratrace <subcommand> -h' for per-subcommand flags.
+`)
+}

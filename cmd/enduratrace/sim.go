@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"enduratrace/internal/mediasim"
+	"enduratrace/internal/perturb"
+	"enduratrace/internal/trace"
+	"enduratrace/internal/traceio"
+)
+
+// loadFlags declares the shared perturbation-schedule flags and returns a
+// builder for the resulting load profile.
+func loadFlags(fs *flag.FlagSet) func(horizon time.Duration) (perturb.Load, error) {
+	factor := fs.Float64("factor", 1, "CPU slowdown during perturbations (1 = none)")
+	first := fs.Duration("perturb-first", 60*time.Second, "start of the first perturbation")
+	period := fs.Duration("perturb-period", 2*time.Minute, "perturbation period")
+	dur := fs.Duration("perturb-duration", 20*time.Second, "length of each perturbation")
+	return func(horizon time.Duration) (perturb.Load, error) {
+		if *factor <= 1 {
+			return perturb.None{}, nil
+		}
+		return perturb.Periodic(*factor, *first, *period, *dur, horizon)
+	}
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("enduratrace sim", flag.ContinueOnError)
+	out := fs.String("out", "", "output trace file ('-' for stdout; required)")
+	text := fs.Bool("text", false, "write CSV text instead of the binary codec")
+	duration := fs.Duration("duration", 10*time.Minute, "simulated horizon")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	mkLoad := loadFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		fs.Usage()
+		return fmt.Errorf("sim: -out is required")
+	}
+	load, err := mkLoad(*duration)
+	if err != nil {
+		return err
+	}
+	cfg := mediasim.DefaultConfig()
+	cfg.Duration = *duration
+	cfg.Seed = *seed
+	cfg.Load = load
+	sim, err := mediasim.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	closeOut := func() error { return nil }
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		closeOut = f.Close
+		w = f
+	}
+	var tw trace.Writer
+	var flush func() error
+	var size func() int64
+	if *text {
+		t := traceio.NewTextWriter(w, mediasim.Registry())
+		tw, flush, size = t, t.Flush, func() int64 { return -1 }
+	} else {
+		b, err := traceio.NewBinaryWriter(w)
+		if err != nil {
+			return err
+		}
+		tw, flush, size = b, b.Flush, b.BytesWritten
+	}
+	n, err := trace.Copy(tw, sim)
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := closeOut(); err != nil {
+		return err
+	}
+	if bytes := size(); bytes >= 0 {
+		fmt.Fprintf(os.Stderr, "sim: %d events over %v, %d bytes encoded\n", n, *duration, bytes)
+	} else {
+		fmt.Fprintf(os.Stderr, "sim: %d events over %v\n", n, *duration)
+	}
+	return nil
+}
+
+// openTrace opens a binary trace file ('-' for stdin).
+func openTrace(path string) (trace.Reader, func() error, error) {
+	if path == "-" {
+		r, err := traceio.NewBinaryReader(os.Stdin)
+		return r, func() error { return nil }, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := traceio.NewBinaryReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f.Close, nil
+}

@@ -1,0 +1,3 @@
+module enduratrace
+
+go 1.24

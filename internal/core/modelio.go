@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"enduratrace/internal/distance"
+	"enduratrace/internal/lof"
+	"enduratrace/internal/pmf"
+)
+
+// modelFile is the on-disk form of a learned model: the full monitor
+// configuration (distances by catalogue name) plus the reference feature
+// points. Loading re-fits the LOF model from the points, which is cheap
+// compared to shipping the index and keeps the format independent of index
+// internals.
+type modelFile struct {
+	Version       int         `json:"version"`
+	NumTypes      int         `json:"num_types"`
+	WindowNS      int64       `json:"window_ns"`
+	WindowCount   int         `json:"window_count"`
+	K             int         `json:"k"`
+	Alpha         float64     `json:"alpha"`
+	GateThreshold float64     `json:"gate_threshold"`
+	GateDistance  string      `json:"gate_distance"`
+	LOFDistance   string      `json:"lof_distance"`
+	MergeLambda   float64     `json:"merge_lambda"`
+	Smoothing     float64     `json:"smoothing"`
+	IncludeRate   bool        `json:"include_rate"`
+	UseVPTree     bool        `json:"use_vptree"`
+	Seed          int64       `json:"seed"`
+	RateScale     float64     `json:"rate_scale"`
+	RefWindows    int         `json:"ref_windows"`
+	MeanCount     float64     `json:"mean_count"`
+	Points        [][]float64 `json:"points"`
+}
+
+const modelFileVersion = 1
+
+// SaveModel serialises a learned model together with the configuration it
+// was learned under, so `enduratrace monitor` can reconstruct both. The
+// configured distances must come from the distance catalogue (have names).
+func SaveModel(w io.Writer, cfg Config, l *Learned) error {
+	if l == nil || l.Model == nil {
+		return fmt.Errorf("core: saving nil model")
+	}
+	if cfg.GateDistance.Name == "" || cfg.LOFDistance.Name == "" {
+		return fmt.Errorf("core: cannot save a model with unnamed distances")
+	}
+	mf := modelFile{
+		Version:       modelFileVersion,
+		NumTypes:      cfg.NumTypes,
+		WindowNS:      int64(cfg.WindowDuration),
+		WindowCount:   cfg.WindowCount,
+		K:             cfg.K,
+		Alpha:         cfg.Alpha,
+		GateThreshold: cfg.GateThreshold,
+		GateDistance:  cfg.GateDistance.Name,
+		LOFDistance:   cfg.LOFDistance.Name,
+		MergeLambda:   cfg.MergeLambda,
+		Smoothing:     cfg.Smoothing,
+		IncludeRate:   cfg.IncludeRate,
+		UseVPTree:     cfg.UseVPTree,
+		Seed:          cfg.Seed,
+		RateScale:     l.Featurizer.RateScale,
+		RefWindows:    l.RefWindows,
+		MeanCount:     l.MeanCount,
+		Points:        l.Model.Points,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&mf)
+}
+
+// LoadModel reads a model saved by SaveModel, re-fits the LOF index and
+// returns the configuration alongside the learned model.
+func LoadModel(r io.Reader) (Config, *Learned, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return Config{}, nil, fmt.Errorf("core: decoding model file: %w", err)
+	}
+	if mf.Version != modelFileVersion {
+		return Config{}, nil, fmt.Errorf("core: unsupported model file version %d", mf.Version)
+	}
+	gate, err := distance.ByName(mf.GateDistance)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	lofDist, err := distance.ByName(mf.LOFDistance)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	cfg := Config{
+		NumTypes:       mf.NumTypes,
+		WindowDuration: time.Duration(mf.WindowNS),
+		WindowCount:    mf.WindowCount,
+		K:              mf.K,
+		Alpha:          mf.Alpha,
+		GateThreshold:  mf.GateThreshold,
+		GateDistance:   gate,
+		LOFDistance:    lofDist,
+		MergeLambda:    mf.MergeLambda,
+		Smoothing:      mf.Smoothing,
+		IncludeRate:    mf.IncludeRate,
+		UseVPTree:      mf.UseVPTree,
+		Seed:           mf.Seed,
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, nil, fmt.Errorf("core: model file config: %w", err)
+	}
+	model, err := lof.Fit(mf.Points, mf.K, lofDist, lof.FitOptions{
+		UseVPTree: mf.UseVPTree,
+		Seed:      mf.Seed,
+	})
+	if err != nil {
+		return Config{}, nil, fmt.Errorf("core: refitting model: %w", err)
+	}
+	learned := &Learned{
+		Model: model,
+		Featurizer: pmf.Featurizer{
+			Dim:         mf.NumTypes,
+			Smoothing:   mf.Smoothing,
+			IncludeRate: mf.IncludeRate,
+			RateScale:   mf.RateScale,
+		},
+		RefWindows: mf.RefWindows,
+		MeanCount:  mf.MeanCount,
+	}
+	return cfg, learned, nil
+}

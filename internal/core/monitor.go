@@ -50,8 +50,8 @@ type Config struct {
 	// LOF computation is performed.
 	GateThreshold float64
 	// GateDistance compares Npmf with Ppmf; the paper uses
-	// Kullback–Leibler. Defaults to distance.SymmetricKL.
-	GateDistance distance.Func
+	// Kullback–Leibler. Defaults to the "symkl" catalogue entry.
+	GateDistance distance.Distance
 	// LOFDistance is the dissimilarity for the LOF model. Defaults to the
 	// same KL family ("symkl").
 	LOFDistance distance.Distance
@@ -82,8 +82,8 @@ func NewConfig(numTypes int) Config {
 		K:              20,
 		Alpha:          1.2,
 		GateThreshold:  0.05,
-		GateDistance:   distance.SymmetricKL,
-		LOFDistance:    distance.Distance{Name: "symkl", F: distance.SymmetricKL},
+		GateDistance:   distance.Must("symkl"),
+		LOFDistance:    distance.Must("symkl"),
 		MergeLambda:    0.1,
 		Smoothing:      0.5,
 	}
@@ -112,7 +112,7 @@ func (c Config) Validate() error {
 	if c.Smoothing < 0 {
 		return fmt.Errorf("core: Smoothing must be >= 0, got %g", c.Smoothing)
 	}
-	if c.GateDistance == nil || c.LOFDistance.F == nil {
+	if c.GateDistance.F == nil || c.LOFDistance.F == nil {
 		return errors.New("core: nil distance function")
 	}
 	return nil
@@ -191,7 +191,7 @@ func (m *Monitor) ProcessWindow(w window.Window) Decision {
 		d.GateDist = math.Inf(1)
 		d.GateTripped = true
 	} else {
-		d.GateDist = m.cfg.GateDistance(npmf, m.ppmf)
+		d.GateDist = m.cfg.GateDistance.F(npmf, m.ppmf)
 		d.GateTripped = d.GateDist > m.cfg.GateThreshold
 	}
 
@@ -239,8 +239,8 @@ type Learned struct {
 // is fitted as a LOF model of correct behaviour.
 //
 // r should be a reference execution with no QoS errors — e.g.
-// trace.LimitReader over the first minutes of a run, or a curated trace
-// from internal/refdb.
+// trace.LimitReader over the first minutes of a run, or an unperturbed
+// simulation from internal/mediasim.
 func Learn(cfg Config, r trace.Reader) (*Learned, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

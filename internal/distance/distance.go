@@ -162,6 +162,17 @@ func ByName(name string) (Distance, error) {
 	return d, nil
 }
 
+// Must returns the catalogue entry for name, panicking on an unknown name.
+// It is intended for static defaults (e.g. core.NewConfig), where a miss is
+// a programming error.
+func Must(name string) Distance {
+	d, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
 // Names lists the catalogue in a fixed order.
 func Names() []string {
 	return []string{"kl", "symkl", "jsd", "jsdist", "hellinger", "l1", "l2", "chi2"}

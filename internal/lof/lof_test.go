@@ -1,0 +1,160 @@
+package lof
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"enduratrace/internal/distance"
+)
+
+func l2() distance.Distance {
+	d, err := distance.ByName("l2")
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// cluster draws n gaussian points around center with the given sigma.
+func cluster(rng *rand.Rand, n, dim int, center, sigma float64) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = center + rng.NormFloat64()*sigma
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestPlantedOutlier(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := cluster(rng, 80, 3, 0, 0.05)
+	m, err := Fit(ref, 10, l2(), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlier := []float64{0.01, -0.02, 0.015}
+	if s := m.Score(inlier); s >= 1.3 {
+		t.Fatalf("inlier LOF = %g, want < 1.3", s)
+	}
+	outlier := []float64{2, 2, 2}
+	if s := m.Score(outlier); s <= 1.5 {
+		t.Fatalf("outlier LOF = %g, want > 1.5", s)
+	}
+}
+
+func TestTooFewPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := cluster(rng, 5, 2, 0, 1)
+	if _, err := Fit(pts, 5, l2(), FitOptions{}); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("Fit with n == k: err = %v, want ErrTooFewPoints", err)
+	}
+	if _, err := Fit(pts, 4, l2(), FitOptions{}); err != nil {
+		t.Fatalf("Fit with n == k+1 failed: %v", err)
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	if _, err := Fit([][]float64{{1}, {2}}, 0, l2(), FitOptions{}); err == nil {
+		t.Fatal("Fit accepted k=0")
+	}
+	ragged := [][]float64{{1, 2}, {3}, {4, 5}}
+	if _, err := Fit(ragged, 1, l2(), FitOptions{}); err == nil {
+		t.Fatal("Fit accepted ragged dimensions")
+	}
+}
+
+func TestVPTreeRequiresMetric(t *testing.T) {
+	kl, err := distance.ByName("symkl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := [][]float64{{0.5, 0.5}, {0.4, 0.6}, {0.3, 0.7}}
+	if _, err := NewVPTree(pts, kl, 1); err == nil {
+		t.Fatal("VP-tree accepted a non-metric distance")
+	}
+}
+
+func TestBruteVsVPTreeIdenticalScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([][]float64, 200)
+	for i := range pts {
+		p := make([]float64, 5)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	brute, err := Fit(pts, 8, l2(), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := Fit(pts, 8, l2(), FitOptions{UseVPTree: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		b, v := brute.ScoreTrain(i), vp.ScoreTrain(i)
+		if math.Abs(b-v) > 1e-9 {
+			t.Fatalf("train point %d: brute %g != vptree %g", i, b, v)
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := make([]float64, 5)
+		for j := range q {
+			q[j] = rng.Float64() * 1.5
+		}
+		b, v := brute.Score(q), vp.Score(q)
+		if math.Abs(b-v) > 1e-9 {
+			t.Fatalf("query %v: brute %g != vptree %g", q, b, v)
+		}
+	}
+}
+
+func TestKNNOrderAndSkip(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {2}, {4}, {8}}
+	idx := NewBruteIndex(pts, distance.L2)
+	nb := idx.KNN([]float64{0}, 3, -1)
+	if len(nb) != 3 || nb[0].Idx != 0 || nb[1].Idx != 1 || nb[2].Idx != 2 {
+		t.Fatalf("KNN order wrong: %+v", nb)
+	}
+	for i := 1; i < len(nb); i++ {
+		if nb[i].Dist < nb[i-1].Dist {
+			t.Fatalf("KNN not ascending: %+v", nb)
+		}
+	}
+	nb = idx.KNN([]float64{0}, 3, 0)
+	for _, n := range nb {
+		if n.Idx == 0 {
+			t.Fatalf("skip ignored: %+v", nb)
+		}
+	}
+}
+
+func TestDuplicatePointsInfConventions(t *testing.T) {
+	// A cluster of identical points: every training LOF must be 1 (Inf/Inf
+	// convention), and a distant query must still score an outlier.
+	pts := make([][]float64, 12)
+	for i := range pts {
+		pts[i] = []float64{1, 1}
+	}
+	m, err := Fit(pts, 3, l2(), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if s := m.ScoreTrain(i); s != 1 {
+			t.Fatalf("duplicate train point %d: LOF = %g, want 1", i, s)
+		}
+	}
+	if s := m.Score([]float64{5, 5}); !math.IsInf(s, 1) {
+		t.Fatalf("distant query against duplicates: LOF = %g, want +Inf", s)
+	}
+	if s := m.Score([]float64{1, 1}); s != 1 {
+		t.Fatalf("duplicate query: LOF = %g, want 1", s)
+	}
+}

@@ -202,8 +202,11 @@ func (s *ContextSink) Observe(w window.Window) error {
 		return s.record(w)
 	}
 	if s.Pre > 0 {
+		// Keep one extra slot: Observe(w) precedes Record(w) for the
+		// anomalous window itself (core.Run's protocol), so w may sit in
+		// the ring without counting against the Pre context windows.
 		s.ring = append(s.ring, w)
-		if len(s.ring) > s.Pre {
+		if len(s.ring) > s.Pre+1 {
 			s.ring = s.ring[1:]
 		}
 	}
@@ -212,11 +215,18 @@ func (s *ContextSink) Observe(w window.Window) error {
 
 // Record implements Sink: flushes pre-context, records w, arms post-context.
 func (s *ContextSink) Record(w window.Window) error {
+	pre := s.ring[:0:0]
 	for _, rw := range s.ring {
 		if rw.Index > s.lastIndex && rw.Index < w.Index {
-			if err := s.record(rw); err != nil {
-				return err
-			}
+			pre = append(pre, rw)
+		}
+	}
+	if len(pre) > s.Pre {
+		pre = pre[len(pre)-s.Pre:]
+	}
+	for _, rw := range pre {
+		if err := s.record(rw); err != nil {
+			return err
 		}
 	}
 	s.ring = s.ring[:0]

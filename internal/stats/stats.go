@@ -1,7 +1,7 @@
 // Package stats supplies the small statistical helpers the harness needs:
 // streaming moments (Welford), quantiles, histograms, exponential averages
-// and autocorrelation (the basis of the periodicity extension in
-// internal/period).
+// and autocorrelation (the basis for detecting periodic perturbation
+// schedules from detection timestamps).
 package stats
 
 import (
@@ -231,6 +231,16 @@ func ArgmaxAutocorr(xs []float64, minLag, maxLag int) (int, float64) {
 		maxLag = len(xs) - 1
 	}
 	if minLag > maxLag {
+		return 0, 0
+	}
+	constant := true
+	for _, x := range xs {
+		if x != xs[0] {
+			constant = false
+			break
+		}
+	}
+	if constant {
 		return 0, 0
 	}
 	lags := make([]int, 0, maxLag-minLag+1)

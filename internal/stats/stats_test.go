@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunningMatchesDirect(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-Mean(xs)) > 1e-12 {
+		t.Fatalf("mean %g != %g", r.Mean(), Mean(xs))
+	}
+	if math.Abs(r.Std()-Std(xs)) > 1e-12 {
+		t.Fatalf("std %g != %g", r.Std(), Std(xs))
+	}
+	if r.Min() != 1 || r.Max() != 9 {
+		t.Fatalf("min/max = %g/%g", r.Min(), r.Max())
+	}
+}
+
+func TestRunningSingleSample(t *testing.T) {
+	var r Running
+	r.Add(7)
+	if r.Mean() != 7 || r.Var() != 0 || r.Min() != 7 || r.Max() != 7 {
+		t.Fatalf("single sample: %s", r.String())
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+	if got := Quantile([]float64{5}, 0.9); got != 5 {
+		t.Fatalf("singleton quantile = %g", got)
+	}
+}
+
+func TestMeanStdEdgeCases(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) not NaN")
+	}
+	if Std([]float64{1}) != 0 {
+		t.Fatal("Std of one sample != 0")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Lambda: 0.5}
+	if e.Seeded() {
+		t.Fatal("zero EWMA seeded")
+	}
+	if v := e.Add(10); v != 10 {
+		t.Fatalf("seed value %g", v)
+	}
+	if v := e.Add(0); v != 5 {
+		t.Fatalf("after update %g, want 5", v)
+	}
+	if e.Value() != 5 {
+		t.Fatalf("Value %g", e.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 3, 9.9, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.Bins[0] != 2 { // -1 clamps into the first bin alongside 0
+		t.Fatalf("first bin %d, want 2", h.Bins[0])
+	}
+	if h.Bins[4] != 2 { // 42 clamps into the last bin alongside 9.9
+		t.Fatalf("last bin %d, want 2", h.Bins[4])
+	}
+	if c := h.BinCenter(0); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("BinCenter(0) = %g, want 1", c)
+	}
+}
+
+func TestAutocorrFindsPlantedPeriod(t *testing.T) {
+	// A clean period-5 signal plus a linear trend-free baseline.
+	var xs []float64
+	for i := 0; i < 200; i++ {
+		v := 0.0
+		if i%5 == 0 {
+			v = 1
+		}
+		xs = append(xs, v)
+	}
+	lag, r := ArgmaxAutocorr(xs, 2, 20)
+	if lag != 5 {
+		t.Fatalf("detected lag %d (r=%g), want 5", lag, r)
+	}
+	if r < 0.9 {
+		t.Fatalf("correlation %g too weak", r)
+	}
+}
+
+func TestAutocorrDegenerate(t *testing.T) {
+	constant := []float64{3, 3, 3, 3}
+	rs := Autocorr(constant, []int{1, 2})
+	if rs[0] != 0 || rs[1] != 0 {
+		t.Fatalf("constant series autocorr %v", rs)
+	}
+	if lag, r := ArgmaxAutocorr(constant, 1, 2); lag != 0 || r != 0 {
+		t.Fatalf("constant argmax = %d, %g", lag, r)
+	}
+	if lag, _ := ArgmaxAutocorr([]float64{1}, 1, 5); lag != 0 {
+		t.Fatalf("short series argmax = %d", lag)
+	}
+}

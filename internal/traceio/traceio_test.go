@@ -1,0 +1,223 @@
+package traceio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"enduratrace/internal/trace"
+)
+
+// randomStream generates n events with non-decreasing timestamps, mixing
+// zero deltas, empty payloads and payloads of various sizes.
+func randomStream(rng *rand.Rand, n int) []trace.Event {
+	evs := make([]trace.Event, n)
+	ts := time.Duration(0)
+	for i := range evs {
+		switch rng.Intn(4) {
+		case 0: // zero delta: same timestamp as the previous event
+		default:
+			ts += time.Duration(rng.Int63n(int64(5 * time.Millisecond)))
+		}
+		var payload []byte
+		switch rng.Intn(3) {
+		case 0:
+		case 1:
+			payload = []byte{}
+		default:
+			payload = make([]byte, 1+rng.Intn(64))
+			rng.Read(payload)
+		}
+		evs[i] = trace.Event{
+			TS:      ts,
+			Type:    trace.EventType(rng.Intn(40)),
+			Arg:     uint64(rng.Int63()),
+			Payload: payload,
+		}
+	}
+	return evs
+}
+
+func sameEvent(a, b trace.Event) bool {
+	return a.TS == b.TS && a.Type == b.Type && a.Arg == b.Arg && bytes.Equal(a.Payload, b.Payload)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 500} {
+		evs := randomStream(rng, n)
+		var buf bytes.Buffer
+		bw, err := NewBinaryWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range evs {
+			if err := bw.Write(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if got := bw.BytesWritten(); got != int64(buf.Len()) {
+			t.Fatalf("n=%d: BytesWritten %d != buffer %d", n, got, buf.Len())
+		}
+		br, err := NewBinaryReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := trace.ReadAll(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(evs) {
+			t.Fatalf("n=%d: decoded %d events", n, len(got))
+		}
+		for i := range evs {
+			if !sameEvent(evs[i], got[i]) {
+				t.Fatalf("n=%d event %d: %v != %v", n, i, got[i], evs[i])
+			}
+		}
+	}
+}
+
+func TestSizeAccountantMatchesEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	evs := randomStream(rng, 300)
+	var buf bytes.Buffer
+	bw, err := NewBinaryWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := NewSizeAccountant()
+	for _, ev := range evs {
+		if err := bw.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := acct.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Bytes() != int64(buf.Len()) || acct.Bytes() != bw.BytesWritten() {
+		t.Fatalf("accountant %d, writer %d, buffer %d: want all equal",
+			acct.Bytes(), bw.BytesWritten(), buf.Len())
+	}
+}
+
+func TestCorruptMagicRejected(t *testing.T) {
+	var buf bytes.Buffer
+	bw, _ := NewBinaryWriter(&buf)
+	bw.Write(trace.Event{TS: time.Millisecond, Type: 1})
+	bw.Flush()
+	raw := buf.Bytes()
+	raw[0] = 'X'
+	if _, err := NewBinaryReader(bytes.NewReader(raw)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	// Hand-assemble a stream whose event declares a payload beyond the
+	// decoder's sanity bound.
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:n])
+	}
+	put(formatVersion)
+	put(100)                // dts
+	put(3)                  // type
+	put(7)                  // arg
+	put(maxPayloadSize + 1) // payload length over the limit
+	br, err := NewBinaryReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.Next(); err == nil || err == io.EOF {
+		t.Fatalf("oversized payload accepted, err = %v", err)
+	}
+}
+
+func TestTruncatedStreamIsUnexpectedEOF(t *testing.T) {
+	var buf bytes.Buffer
+	bw, _ := NewBinaryWriter(&buf)
+	bw.Write(trace.Event{TS: time.Millisecond, Type: 1, Arg: 2, Payload: []byte("abcdef")})
+	bw.Flush()
+	raw := buf.Bytes()
+	br, err := NewBinaryReader(bytes.NewReader(raw[:len(raw)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated payload: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestWriterRejectsOutOfOrder(t *testing.T) {
+	var buf bytes.Buffer
+	bw, _ := NewBinaryWriter(&buf)
+	if err := bw.Write(trace.Event{TS: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Write(trace.Event{TS: time.Millisecond}); !errors.Is(err, trace.ErrOutOfOrder) {
+		t.Fatalf("err = %v, want ErrOutOfOrder", err)
+	}
+}
+
+func TestEncodedSizeAgainstWriter(t *testing.T) {
+	evs := []trace.Event{
+		{TS: 0, Type: 0, Arg: 0},
+		{TS: 0, Type: 300, Arg: 1 << 40, Payload: make([]byte, 130)},
+		{TS: time.Second, Type: 5, Arg: 9},
+	}
+	var buf bytes.Buffer
+	bw, _ := NewBinaryWriter(&buf)
+	total := int64(HeaderSize())
+	prev := time.Duration(0)
+	for i, ev := range evs {
+		if err := bw.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+		total += int64(EncodedSize(ev, prev, i == 0))
+		prev = ev.TS
+	}
+	if total != bw.BytesWritten() {
+		t.Fatalf("EncodedSize sum %d != writer %d", total, bw.BytesWritten())
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	evs := randomStream(rng, 50)
+	var buf bytes.Buffer
+	tw := NewTextWriter(&buf, nil)
+	for _, ev := range evs {
+		if err := tw.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadAll(NewTextReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if !sameEvent(evs[i], got[i]) {
+			t.Fatalf("event %d: %v != %v", i, got[i], evs[i])
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package window
+
+import (
+	"testing"
+	"time"
+
+	"enduratrace/internal/trace"
+)
+
+func ev(ts time.Duration) trace.Event { return trace.Event{TS: ts, Type: 1} }
+
+func TestByCountSizing(t *testing.T) {
+	w := NewByCount(3)
+	var out []Window
+	for i := 0; i < 7; i++ {
+		if win, ok := w.Add(ev(time.Duration(i) * time.Millisecond)); ok {
+			out = append(out, win)
+		}
+	}
+	if win, ok := w.Flush(); ok {
+		out = append(out, win)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d windows, want 3", len(out))
+	}
+	wantLens := []int{3, 3, 1}
+	for i, win := range out {
+		if win.Index != i {
+			t.Fatalf("window %d has index %d", i, win.Index)
+		}
+		if win.Len() != wantLens[i] {
+			t.Fatalf("window %d has %d events, want %d", i, win.Len(), wantLens[i])
+		}
+		if win.Start != win.Events[0].TS || win.End != win.Events[len(win.Events)-1].TS {
+			t.Fatalf("window %d bounds %v..%v don't match events", i, win.Start, win.End)
+		}
+	}
+	if _, ok := w.Flush(); ok {
+		t.Fatal("second Flush produced a window")
+	}
+}
+
+func TestByTimeBoundaries(t *testing.T) {
+	// 10 ms windows; an event exactly on a boundary belongs to the next
+	// window (End is exclusive).
+	w := NewByTime(10 * time.Millisecond)
+	if _, ok := w.Add(ev(0)); ok {
+		t.Fatal("window closed too early")
+	}
+	if _, ok := w.Add(ev(5 * time.Millisecond)); ok {
+		t.Fatal("window closed too early")
+	}
+	win, ok := w.Add(ev(10 * time.Millisecond))
+	if !ok {
+		t.Fatal("boundary event did not close the window")
+	}
+	if win.Start != 0 || win.End != 10*time.Millisecond || win.Len() != 2 {
+		t.Fatalf("bad first window: %+v", win)
+	}
+	for _, e := range win.Events {
+		if !win.Contains(e.TS) {
+			t.Fatalf("event %v outside window [%v,%v)", e.TS, win.Start, win.End)
+		}
+	}
+	win, ok = w.Flush()
+	if !ok || win.Start != 10*time.Millisecond || win.Len() != 1 {
+		t.Fatalf("bad flush window: %+v ok=%v", win, ok)
+	}
+}
+
+func TestByTimeEmitsEmptyGapWindows(t *testing.T) {
+	// Events at 0 and 35 ms with 10 ms windows: the stream crosses windows
+	// [0,10) [10,20) [20,30), of which the last two are empty. Empty
+	// windows must be emitted — a stalled pipeline looks exactly like this.
+	w := NewByTime(10 * time.Millisecond)
+	var out []Window
+	collect := func(win Window, ok bool) {
+		if ok {
+			out = append(out, win)
+		}
+	}
+	collect(w.Add(ev(0)))
+	collect(w.Add(ev(35 * time.Millisecond)))
+	for {
+		win, ok := w.Drain()
+		if !ok {
+			break
+		}
+		out = append(out, win)
+	}
+	collect(w.Flush())
+	if len(out) != 4 {
+		t.Fatalf("got %d windows, want 4 (including empties)", len(out))
+	}
+	wantLens := []int{1, 0, 0, 1}
+	for i, win := range out {
+		if win.Index != i {
+			t.Fatalf("window %d has index %d", i, win.Index)
+		}
+		if win.Len() != wantLens[i] {
+			t.Fatalf("window %d has %d events, want %d", i, win.Len(), wantLens[i])
+		}
+		if win.Start != time.Duration(i)*10*time.Millisecond || win.Duration() != 10*time.Millisecond {
+			t.Fatalf("window %d spans [%v,%v)", i, win.Start, win.End)
+		}
+	}
+}
+
+func TestByTimeAlignsToMultiples(t *testing.T) {
+	// First event at 25 ms with 10 ms windows: windows align to multiples
+	// of the window length, so the first window is [20,30).
+	w := NewByTime(10 * time.Millisecond)
+	w.Add(ev(25 * time.Millisecond))
+	win, ok := w.Flush()
+	if !ok || win.Start != 20*time.Millisecond || win.End != 30*time.Millisecond {
+		t.Fatalf("first window [%v,%v), want [20ms,30ms)", win.Start, win.End)
+	}
+}
+
+func TestStreamAndCollect(t *testing.T) {
+	var evs []trace.Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, ev(time.Duration(i)*3*time.Millisecond))
+	}
+	ws, err := Collect(trace.NewSliceReader(evs), NewByTime(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, win := range ws {
+		if win.Index != i {
+			t.Fatalf("window %d has index %d", i, win.Index)
+		}
+		for _, e := range win.Events {
+			if !win.Contains(e.TS) {
+				t.Fatalf("event %v outside its window", e.TS)
+			}
+		}
+		total += win.Len()
+	}
+	if total != len(evs) {
+		t.Fatalf("windows hold %d events, want %d", total, len(evs))
+	}
+	// 100 events at 3 ms cover [0, 297]; 10 ms windows → 30 windows.
+	if len(ws) != 30 {
+		t.Fatalf("got %d windows, want 30", len(ws))
+	}
+}
+
+func TestNewByCountPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for ByCount(0)")
+		}
+	}()
+	NewByCount(0)
+}
