@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci eval
+.PHONY: all build test race vet fmt-check ci eval bench microbench
 
 all: build
 
@@ -27,3 +27,13 @@ ci: fmt-check vet build race
 # Run the §III experiment and drop the JSON report next to the repo.
 eval:
 	$(GO) run ./cmd/enduratrace eval -out BENCH_eval.json
+
+# Run the default distance-ablation sweep at a CI-sized duration and drop
+# the per-cell summary array (mean ± 95% CI over seeds) next to the repo.
+bench:
+	$(GO) run ./cmd/enduratrace sweep -seeds 3 -out BENCH_sweep.json
+
+# Microbenchmarks for the monitoring hot path: LOF scoring (brute vs
+# VP-tree) and the gate distance kernels.
+microbench:
+	$(GO) test -run '^$$' -bench . -benchtime 20x ./internal/lof ./internal/distance

@@ -1,27 +1,32 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
-	"fmt"
-	"os"
 	"time"
 
 	"enduratrace/internal/eval"
 )
 
-func cmdEval(args []string) (err error) {
-	fs := flag.NewFlagSet("enduratrace eval", flag.ContinueOnError)
-	opts := eval.DefaultOptions()
+// evalFlags declares the experiment-shape flags shared by the eval and
+// soak subcommands, bound directly into opts. The monitored-run length is
+// deliberately excluded: eval exposes it as -run-duration, soak as
+// -duration.
+func evalFlags(fs *flag.FlagSet, opts *eval.Options) {
 	fs.Int64Var(&opts.Seed, "seed", opts.Seed, "experiment seed")
 	fs.DurationVar(&opts.RefDuration, "ref-duration", opts.RefDuration, "clean reference run length")
-	fs.DurationVar(&opts.RunDuration, "run-duration", opts.RunDuration, "perturbed monitored run length")
 	fs.Float64Var(&opts.Factor, "factor", opts.Factor, "CPU slowdown during perturbations")
 	fs.DurationVar(&opts.PerturbFirst, "perturb-first", opts.PerturbFirst, "start of the first perturbation")
 	fs.DurationVar(&opts.PerturbPeriod, "perturb-period", opts.PerturbPeriod, "perturbation period")
 	fs.DurationVar(&opts.PerturbDuration, "perturb-duration", opts.PerturbDuration, "length of each perturbation")
 	fs.DurationVar(&opts.Slack, "slack", opts.Slack, "post-interval slack when matching detections")
 	fs.DurationVar(&opts.Warmup, "warmup", opts.Warmup, "startup transient excluded from precision/recall")
+}
+
+func cmdEval(args []string) (err error) {
+	fs := flag.NewFlagSet("enduratrace eval", flag.ContinueOnError)
+	opts := eval.DefaultOptions()
+	evalFlags(fs, &opts)
+	fs.DurationVar(&opts.RunDuration, "run-duration", opts.RunDuration, "perturbed monitored run length")
 	mkCfg := coreFlags(fs, opts.Core)
 	out := fs.String("out", "", "also write the JSON report to this file (e.g. BENCH_eval.json)")
 	if err := fs.Parse(args); err != nil {
@@ -36,42 +41,6 @@ func cmdEval(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
-
-	fmt.Fprintf(os.Stderr, "eval: %d windows, %d gate trips, %d anomalous (%.1fs wall)\n",
-		rep.Windows, rep.GateTrips, rep.Anomalies, elapsed.Seconds())
-	fmt.Fprintf(os.Stderr, "eval: reduction %.1fx (%d of %d bytes), precision %.3f, recall %.3f\n",
-		rep.ReductionFactor, rep.RecordedBytes, rep.FullBytes, rep.Precision, rep.Recall)
-	fmt.Fprintf(os.Stderr, "eval: detected %d/%d perturbations, mean Δs %.0f ms, mean Δe %.0f ms\n",
-		rep.DetectedPerturbations, rep.TotalPerturbations, rep.MeanDeltaSMs, rep.MeanDeltaEMs)
-	for _, p := range rep.Perturbations {
-		if p.Detected {
-			fmt.Fprintf(os.Stderr, "eval:   [%6.1fs %6.1fs) detected, Δs=%6.0f ms Δe=%6.0f ms, %d windows\n",
-				p.StartS, p.EndS, *p.DeltaSMs, *p.DeltaEMs, p.Windows)
-		} else {
-			fmt.Fprintf(os.Stderr, "eval:   [%6.1fs %6.1fs) MISSED\n", p.StartS, p.EndS)
-		}
-	}
-
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		return err
-	}
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		fenc := json.NewEncoder(f)
-		fenc.SetIndent("", "  ")
-		if err := fenc.Encode(rep); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-	return nil
+	printEvalReport("eval", rep, time.Since(start))
+	return emitJSON(rep, *out)
 }

@@ -4,9 +4,11 @@
 //	enduratrace learn    fit a reference model from a trace
 //	enduratrace monitor  monitor a trace with a learned model
 //	enduratrace eval     run the full §III experiment and report metrics
+//	enduratrace sweep    run a parallel ablation sweep with multi-seed CIs
+//	enduratrace soak     run one long-horizon cell with streaming scoring
 //
 // Every subcommand prints a human summary to stderr; machine-readable JSON
-// goes to stdout (monitor/learn behind -json, eval always).
+// goes to stdout (monitor/learn behind -json, eval/sweep/soak always).
 package main
 
 import (
@@ -30,6 +32,10 @@ func main() {
 		err = cmdMonitor(os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "soak":
+		err = cmdSoak(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -54,6 +60,10 @@ subcommands:
   learn    fit a reference model (LOF over window pmfs) from a trace
   monitor  replay a trace through the online monitor, record anomalies
   eval     run the full reference+perturbed experiment and score it
+  sweep    expand a parameter grid and run the cells in parallel,
+           aggregating per-cell mean ± 95% CI over seeds
+  soak     run one long-horizon cell with periodic progress and
+           constant-memory streaming scoring
 
 run 'enduratrace <subcommand> -h' for per-subcommand flags.
 `)

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
 	"enduratrace/internal/core"
@@ -79,20 +78,22 @@ func cmdMonitor(args []string) error {
 	}
 
 	// Recompute the reduction from post-Close sizes: a stream sink only
-	// reports its final byte count after the flush.
-	reduction := math.MaxFloat64
+	// reports its final byte count after the flush. Nil (JSON null) when
+	// nothing was recorded — the ratio is undefined.
+	var reduction *float64
 	if rec := sink.BytesWritten(); rec > 0 {
-		reduction = float64(stats.FullBytes) / float64(rec)
+		r := float64(stats.FullBytes) / float64(rec)
+		reduction = &r
 	}
 	out := struct {
-		Windows         int     `json:"windows"`
-		GateTrips       int     `json:"gate_trips"`
-		Anomalies       int     `json:"anomalies"`
-		RecordedWindows int     `json:"recorded_windows"`
-		FullBytes       int64   `json:"full_bytes"`
-		RecordedBytes   int64   `json:"recorded_bytes"`
-		ReductionFactor float64 `json:"reduction_factor"`
-		SpanS           float64 `json:"span_s"`
+		Windows         int      `json:"windows"`
+		GateTrips       int      `json:"gate_trips"`
+		Anomalies       int      `json:"anomalies"`
+		RecordedWindows int      `json:"recorded_windows"`
+		FullBytes       int64    `json:"full_bytes"`
+		RecordedBytes   int64    `json:"recorded_bytes"`
+		ReductionFactor *float64 `json:"reduction_factor"`
+		SpanS           float64  `json:"span_s"`
 	}{
 		Windows:         stats.Windows,
 		GateTrips:       stats.GateTrips,
@@ -104,9 +105,9 @@ func cmdMonitor(args []string) error {
 		SpanS:           (stats.End - stats.Start).Seconds(),
 	}
 	fmt.Fprintf(os.Stderr,
-		"monitor: %d windows over %.1fs, %d gate trips, %d anomalies\nmonitor: recorded %d windows, %d of %d bytes (reduction %.1fx)\n",
+		"monitor: %d windows over %.1fs, %d gate trips, %d anomalies\nmonitor: recorded %d windows, %d of %d bytes (reduction %s)\n",
 		out.Windows, out.SpanS, out.GateTrips, out.Anomalies,
-		out.RecordedWindows, out.RecordedBytes, out.FullBytes, out.ReductionFactor)
+		out.RecordedWindows, out.RecordedBytes, out.FullBytes, reductionString(out.ReductionFactor))
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

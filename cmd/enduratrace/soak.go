@@ -1,0 +1,48 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"enduratrace/internal/eval"
+	"enduratrace/internal/sweep"
+)
+
+func cmdSoak(args []string) (err error) {
+	fs := flag.NewFlagSet("enduratrace soak", flag.ContinueOnError)
+	// Same experiment semantics as eval (including RunSeedOffset 1): a
+	// soak differs only in horizon and observability, so the same flags
+	// and seed must reproduce the same metrics.
+	opts := eval.DefaultOptions()
+	evalFlags(fs, &opts)
+	duration := fs.Duration("duration", time.Hour, "soak horizon (the monitored run length)")
+	every := fs.Duration("progress-every", 30*time.Second, "trace time between progress lines")
+	mkCfg := coreFlags(fs, opts.Core)
+	out := fs.String("out", "", "also write the JSON report to this file (e.g. BENCH_soak.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if opts.Core, err = mkCfg(); err != nil {
+		return err
+	}
+	opts.RunDuration = *duration
+
+	start := time.Now()
+	rep, err := sweep.Soak(sweep.SoakOptions{
+		Eval:  opts,
+		Every: *every,
+		OnProgress: func(p sweep.SoakProgress) {
+			fmt.Fprintf(os.Stderr,
+				"soak: t=%-8s %d windows, %d trips, %d anomalies, %d B recorded (%.0fx realtime)\n",
+				p.TraceTime.Truncate(time.Second), p.Windows, p.GateTrips,
+				p.Anomalies, p.RecordedBytes, p.Rate)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	printEvalReport("soak", rep, time.Since(start))
+	return emitJSON(rep, *out)
+}

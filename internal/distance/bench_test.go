@@ -1,0 +1,44 @@
+package distance
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks for the gate distance kernels: the gate runs once per 40 ms
+// window, so per-call cost at the monitor's pmf dimensionality is the
+// number that matters. One iteration = one gate comparison.
+
+var benchSink float64
+
+func benchmarkKernel(b *testing.B, name string) {
+	const dim = 26 // mediasim pmf (25 event types) + rate feature
+	rng := rand.New(rand.NewSource(1))
+	mk := func() []float64 {
+		p := make([]float64, dim)
+		var sum float64
+		for i := range p {
+			p[i] = rng.Float64() + 1e-3
+			sum += p[i]
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		return p
+	}
+	p, q := mk(), mk()
+	d := Must(name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += d.F(p, q)
+	}
+}
+
+func BenchmarkKernelKL(b *testing.B)        { benchmarkKernel(b, "kl") }
+func BenchmarkKernelSymKL(b *testing.B)     { benchmarkKernel(b, "symkl") }
+func BenchmarkKernelJSD(b *testing.B)       { benchmarkKernel(b, "jsd") }
+func BenchmarkKernelJSDist(b *testing.B)    { benchmarkKernel(b, "jsdist") }
+func BenchmarkKernelHellinger(b *testing.B) { benchmarkKernel(b, "hellinger") }
+func BenchmarkKernelL1(b *testing.B)        { benchmarkKernel(b, "l1") }
+func BenchmarkKernelL2(b *testing.B)        { benchmarkKernel(b, "l2") }
+func BenchmarkKernelChi2(b *testing.B)      { benchmarkKernel(b, "chi2") }

@@ -17,7 +17,6 @@ package eval
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"enduratrace/internal/core"
@@ -29,9 +28,16 @@ import (
 
 // Options configures one experiment.
 type Options struct {
-	// Seed drives both simulations (the perturbed run uses Seed+1 so the
-	// two traces are independent draws of the same workload).
+	// Seed drives both simulations (the perturbed run uses
+	// Seed+RunSeedOffset so the two traces are independent draws of the
+	// same workload).
 	Seed int64
+	// RunSeedOffset separates the perturbed run's RNG stream from the
+	// reference stream; it must be non-zero or the two runs would replay
+	// the same randomness. Single experiments use 1; multi-seed sweeps use
+	// a large offset so that seed s's run stream cannot collide with seed
+	// s+1's reference stream.
+	RunSeedOffset int64
 	// RefDuration is the length of the clean reference run fed to Learn.
 	RefDuration time.Duration
 	// RunDuration is the length of the perturbed, monitored run.
@@ -55,6 +61,25 @@ type Options struct {
 	Sim mediasim.Config
 	// Core is the monitor configuration.
 	Core core.Config
+	// OnProgress, when non-nil, receives a snapshot roughly every
+	// ProgressInterval of trace time during the monitored run. Soak mode
+	// uses it for periodic progress lines; it does not affect results.
+	OnProgress func(Progress)
+	// ProgressInterval is the trace time between OnProgress calls
+	// (default 30 s when OnProgress is set).
+	ProgressInterval time.Duration
+}
+
+// Progress is the snapshot passed to Options.OnProgress while the
+// monitored run streams.
+type Progress struct {
+	// TraceTime is the end of the last processed window.
+	TraceTime time.Duration
+	Windows   int
+	GateTrips int
+	Anomalies int
+	// RecordedBytes is the size of everything recorded so far.
+	RecordedBytes int64
 }
 
 // DefaultOptions returns a paper-shaped experiment scaled to run in a few
@@ -72,6 +97,7 @@ func DefaultOptions() Options {
 	cc.GateThreshold = 0.1
 	return Options{
 		Seed:            1,
+		RunSeedOffset:   1,
 		RefDuration:     2 * time.Minute,
 		RunDuration:     10 * time.Minute,
 		Factor:          3,
@@ -97,6 +123,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("eval: Factor %g must be >= 1", o.Factor)
 	case o.Slack < 0 || o.Warmup < 0:
 		return fmt.Errorf("eval: Slack and Warmup must be >= 0")
+	case o.RunSeedOffset == 0:
+		return fmt.Errorf("eval: RunSeedOffset must be non-zero (the perturbed run would replay the reference seed)")
 	}
 	return nil
 }
@@ -137,28 +165,36 @@ type Report struct {
 	RefWindows     int     `json:"ref_windows"`
 	RefTrainP95LOF float64 `json:"ref_train_p95_lof"`
 
-	Windows         int     `json:"windows"`
-	GateTrips       int     `json:"gate_trips"`
-	Anomalies       int     `json:"anomalies"`
-	RecordedWindows int     `json:"recorded_windows"`
-	FullBytes       int64   `json:"full_bytes"`
-	RecordedBytes   int64   `json:"recorded_bytes"`
-	ReductionFactor float64 `json:"reduction_factor"`
+	Windows         int   `json:"windows"`
+	GateTrips       int   `json:"gate_trips"`
+	Anomalies       int   `json:"anomalies"`
+	RecordedWindows int   `json:"recorded_windows"`
+	FullBytes       int64 `json:"full_bytes"`
+	RecordedBytes   int64 `json:"recorded_bytes"`
+	// ReductionFactor is FullBytes/RecordedBytes, the paper's headline
+	// metric. It is nil — marshalling as JSON null — when nothing was
+	// recorded, where the ratio is undefined (RecordedBytes reports 0
+	// honestly rather than via a float sentinel).
+	ReductionFactor *float64 `json:"reduction_factor"`
 
+	// Precision is tp/(tp+fp) over post-warmup windows; 0 when
+	// ScoredAnomalousWindows is 0, where the ratio is undefined.
 	Precision float64 `json:"precision"`
-	Recall    float64 `json:"recall"`
+	// Recall is tp/truthPos over post-warmup windows; 0 when TruthWindows
+	// is 0, where the ratio is undefined.
+	Recall float64 `json:"recall"`
+	// ScoredAnomalousWindows is precision's denominator (tp+fp): anomalous
+	// windows after warmup.
+	ScoredAnomalousWindows int `json:"scored_anomalous_windows"`
+	// TruthWindows is recall's denominator: post-warmup windows overlapping
+	// a ground-truth effect region, anomalous or not.
+	TruthWindows int `json:"truth_windows"`
 
 	TotalPerturbations    int            `json:"total_perturbations"`
 	DetectedPerturbations int            `json:"detected_perturbations"`
 	MeanDeltaSMs          float64        `json:"mean_delta_s_ms"`
 	MeanDeltaEMs          float64        `json:"mean_delta_e_ms"`
 	Perturbations         []Perturbation `json:"perturbations"`
-}
-
-// span is a decided window reduced to what the metrics need.
-type span struct {
-	start, end time.Duration
-	anomalous  bool
 }
 
 // Run executes the experiment.
@@ -196,16 +232,43 @@ func Run(opts Options) (*Report, error) {
 	runCfg := opts.Sim
 	runCfg.Duration = opts.RunDuration
 	runCfg.Load = load
-	runCfg.Seed = opts.Seed + 1
+	runCfg.Seed = opts.Seed + opts.RunSeedOffset
 	runSim, err := mediasim.New(runCfg)
 	if err != nil {
 		return nil, err
 	}
 
+	// Decisions are scored online — the callback feeds the incremental
+	// Scorer directly, so an arbitrarily long run needs O(len(truth))
+	// memory, not O(windows).
 	sink := recorder.NewNullSink()
-	var decisions []span
+	scorer := NewScorer(truth, opts.Slack, opts.Warmup)
+	tick := opts.ProgressInterval
+	if tick <= 0 {
+		tick = 30 * time.Second
+	}
+	nextTick := tick
+	var prog Progress
 	runStats, err := core.Run(opts.Core, learned, runSim, sink, func(d core.Decision) error {
-		decisions = append(decisions, span{d.Window.Start, d.Window.End, d.Anomalous})
+		scorer.Observe(d.Window.Start, d.Window.End, d.Anomalous)
+		if opts.OnProgress == nil {
+			return nil
+		}
+		prog.Windows++
+		if d.GateTripped {
+			prog.GateTrips++
+		}
+		if d.Anomalous {
+			prog.Anomalies++
+		}
+		if d.Window.End >= nextTick {
+			prog.TraceTime = d.Window.End
+			prog.RecordedBytes = sink.BytesWritten()
+			opts.OnProgress(prog)
+			for nextTick <= d.Window.End {
+				nextTick += tick
+			}
+		}
 		return nil
 	})
 	if err != nil {
@@ -232,98 +295,12 @@ func Run(opts Options) (*Report, error) {
 		RecordedWindows: runStats.RecWindows,
 		FullBytes:       runStats.FullBytes,
 		RecordedBytes:   runStats.RecBytes,
-		ReductionFactor: runStats.ReductionFactor(),
 	}
-	if math.IsInf(rep.ReductionFactor, 1) {
-		rep.ReductionFactor = math.MaxFloat64 // nothing recorded; keep JSON finite
+	if runStats.RecBytes > 0 {
+		rf := runStats.ReductionFactor()
+		rep.ReductionFactor = &rf
 	}
 
-	scoreDetections(rep, decisions, truth, opts)
+	scorer.Finish(rep)
 	return rep, nil
-}
-
-// scoreDetections fills the precision/recall and per-perturbation Δs/Δe
-// fields of rep from the decided windows and the ground-truth schedule.
-func scoreDetections(rep *Report, decisions []span, truth []perturb.Interval, opts Options) {
-	// effect[i] is the region in which anomalous windows are credited to
-	// truth[i]: the interval plus trailing slack, clipped at the next
-	// interval's start so detections are attributed unambiguously.
-	effect := make([]perturb.Interval, len(truth))
-	for i, iv := range truth {
-		end := iv.End + opts.Slack
-		if i+1 < len(truth) && end > truth[i+1].Start {
-			end = truth[i+1].Start
-		}
-		effect[i] = perturb.Interval{Start: iv.Start, End: end}
-	}
-	overlaps := func(s span, iv perturb.Interval) bool {
-		return s.start < iv.End && iv.Start < s.end
-	}
-
-	var tp, fp, truthPos int
-	firstAnom := make([]time.Duration, len(truth))
-	lastAnom := make([]time.Duration, len(truth))
-	counts := make([]int, len(truth))
-	for i := range firstAnom {
-		firstAnom[i] = -1
-	}
-	for _, d := range decisions {
-		if d.start < opts.Warmup {
-			continue
-		}
-		hit := -1
-		for i, iv := range effect {
-			if overlaps(d, iv) {
-				hit = i
-				break
-			}
-		}
-		if hit >= 0 {
-			truthPos++
-		}
-		if !d.anomalous {
-			continue
-		}
-		if hit < 0 {
-			fp++
-			continue
-		}
-		tp++
-		counts[hit]++
-		if firstAnom[hit] < 0 {
-			firstAnom[hit] = d.start
-		}
-		lastAnom[hit] = d.end
-	}
-
-	if tp+fp > 0 {
-		rep.Precision = float64(tp) / float64(tp+fp)
-	}
-	if truthPos > 0 {
-		rep.Recall = float64(tp) / float64(truthPos)
-	}
-
-	rep.TotalPerturbations = len(truth)
-	var dss, des []float64
-	for i, iv := range truth {
-		p := Perturbation{StartS: iv.Start.Seconds(), EndS: iv.End.Seconds(), Windows: counts[i]}
-		if counts[i] > 0 {
-			p.Detected = true
-			rep.DetectedPerturbations++
-			ds := (firstAnom[i] - iv.Start).Seconds() * 1000
-			if ds < 0 {
-				ds = 0 // the first anomalous window straddles the onset
-			}
-			de := (lastAnom[i] - iv.End).Seconds() * 1000
-			p.DeltaSMs = &ds
-			p.DeltaEMs = &de
-			dss = append(dss, ds)
-			des = append(des, de)
-		}
-		rep.Perturbations = append(rep.Perturbations, p)
-	}
-	if len(dss) > 0 {
-		rep.MeanDeltaSMs = stats.Mean(dss)
-		rep.MeanDeltaEMs = stats.Mean(des)
-	}
 }

@@ -1,0 +1,243 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"enduratrace/internal/perturb"
+)
+
+// batchSpan mirrors the pre-streaming scorer's input: one decided window.
+type batchSpan struct {
+	start, end time.Duration
+	anomalous  bool
+}
+
+// batchScore is the original batch implementation of detection scoring
+// (quadratic scan over all effect intervals, whole decision slice in
+// memory), kept here as the reference the streaming Scorer must match.
+func batchScore(rep *Report, decisions []batchSpan, truth []perturb.Interval, slack, warmup time.Duration) {
+	effect := make([]perturb.Interval, len(truth))
+	for i, iv := range truth {
+		end := iv.End + slack
+		if i+1 < len(truth) && end > truth[i+1].Start {
+			end = truth[i+1].Start
+		}
+		effect[i] = perturb.Interval{Start: iv.Start, End: end}
+	}
+	overlaps := func(s batchSpan, iv perturb.Interval) bool {
+		return s.start < iv.End && iv.Start < s.end
+	}
+
+	var tp, fp, truthPos int
+	firstAnom := make([]time.Duration, len(truth))
+	lastAnom := make([]time.Duration, len(truth))
+	counts := make([]int, len(truth))
+	for i := range firstAnom {
+		firstAnom[i] = -1
+	}
+	for _, d := range decisions {
+		if d.start < warmup {
+			continue
+		}
+		hit := -1
+		for i, iv := range effect {
+			if overlaps(d, iv) {
+				hit = i
+				break
+			}
+		}
+		if hit >= 0 {
+			truthPos++
+		}
+		if !d.anomalous {
+			continue
+		}
+		if hit < 0 {
+			fp++
+			continue
+		}
+		tp++
+		counts[hit]++
+		if firstAnom[hit] < 0 {
+			firstAnom[hit] = d.start
+		}
+		lastAnom[hit] = d.end
+	}
+
+	if tp+fp > 0 {
+		rep.Precision = float64(tp) / float64(tp+fp)
+	}
+	if truthPos > 0 {
+		rep.Recall = float64(tp) / float64(truthPos)
+	}
+	rep.TotalPerturbations = len(truth)
+	var dss, des []float64
+	for i, iv := range truth {
+		p := Perturbation{StartS: iv.Start.Seconds(), EndS: iv.End.Seconds(), Windows: counts[i]}
+		if counts[i] > 0 {
+			p.Detected = true
+			rep.DetectedPerturbations++
+			ds := (firstAnom[i] - iv.Start).Seconds() * 1000
+			if ds < 0 {
+				ds = 0
+			}
+			de := (lastAnom[i] - iv.End).Seconds() * 1000
+			p.DeltaSMs = &ds
+			p.DeltaEMs = &de
+			dss = append(dss, ds)
+			des = append(des, de)
+		}
+		rep.Perturbations = append(rep.Perturbations, p)
+	}
+	var sum float64
+	if len(dss) > 0 {
+		for _, v := range dss {
+			sum += v
+		}
+		rep.MeanDeltaSMs = sum / float64(len(dss))
+		sum = 0
+		for _, v := range des {
+			sum += v
+		}
+		rep.MeanDeltaEMs = sum / float64(len(des))
+	}
+}
+
+func reportsEqual(t *testing.T, got, want *Report) {
+	t.Helper()
+	near := func(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(b)) }
+	if !near(got.Precision, want.Precision) || !near(got.Recall, want.Recall) {
+		t.Fatalf("precision/recall %g/%g, want %g/%g",
+			got.Precision, got.Recall, want.Precision, want.Recall)
+	}
+	if got.TotalPerturbations != want.TotalPerturbations ||
+		got.DetectedPerturbations != want.DetectedPerturbations {
+		t.Fatalf("perturbation counts %d/%d, want %d/%d",
+			got.DetectedPerturbations, got.TotalPerturbations,
+			want.DetectedPerturbations, want.TotalPerturbations)
+	}
+	if !near(got.MeanDeltaSMs, want.MeanDeltaSMs) || !near(got.MeanDeltaEMs, want.MeanDeltaEMs) {
+		t.Fatalf("mean Δs/Δe %g/%g, want %g/%g",
+			got.MeanDeltaSMs, got.MeanDeltaEMs, want.MeanDeltaSMs, want.MeanDeltaEMs)
+	}
+	if len(got.Perturbations) != len(want.Perturbations) {
+		t.Fatalf("%d perturbation entries, want %d", len(got.Perturbations), len(want.Perturbations))
+	}
+	for i := range got.Perturbations {
+		g, w := got.Perturbations[i], want.Perturbations[i]
+		if g.Detected != w.Detected || g.Windows != w.Windows ||
+			!near(g.StartS, w.StartS) || !near(g.EndS, w.EndS) {
+			t.Fatalf("perturbation %d: %+v, want %+v", i, g, w)
+		}
+		if g.Detected && (!near(*g.DeltaSMs, *w.DeltaSMs) || !near(*g.DeltaEMs, *w.DeltaEMs)) {
+			t.Fatalf("perturbation %d deltas %g/%g, want %g/%g",
+				i, *g.DeltaSMs, *g.DeltaEMs, *w.DeltaSMs, *w.DeltaEMs)
+		}
+	}
+}
+
+func TestScorerHandChecked(t *testing.T) {
+	truth := []perturb.Interval{
+		{Start: 1 * time.Second, End: 2 * time.Second},
+		{Start: 4 * time.Second, End: 5 * time.Second},
+	}
+	s := NewScorer(truth, 500*time.Millisecond, 200*time.Millisecond)
+	win := 100 * time.Millisecond
+	// Windows: one ignored by warmup, one clean before the interval, two
+	// anomalous inside interval 0, one anomalous in interval 0's slack,
+	// one anomalous false positive at 3 s, interval 1 never detected.
+	obs := []struct {
+		at   time.Duration
+		anom bool
+	}{
+		{0, true},                       // < warmup: ignored entirely
+		{500 * time.Millisecond, false}, // clean, outside truth
+		{1100 * time.Millisecond, true}, // in interval 0
+		{1300 * time.Millisecond, true}, // in interval 0
+		{2200 * time.Millisecond, true}, // in interval 0's slack region
+		{3 * time.Second, true},         // false positive
+		{4500 * time.Millisecond, false},
+	}
+	for _, o := range obs {
+		s.Observe(o.at, o.at+win, o.anom)
+	}
+	var rep Report
+	s.Finish(&rep)
+
+	if rep.Precision != 0.75 { // 3 of 4 anomalous windows inside effect regions
+		t.Fatalf("precision %g, want 0.75", rep.Precision)
+	}
+	// truth-positive windows: 1100, 1300, 2200, 4500 → recall 3/4.
+	if rep.Recall != 0.75 {
+		t.Fatalf("recall %g, want 0.75", rep.Recall)
+	}
+	if rep.DetectedPerturbations != 1 || rep.TotalPerturbations != 2 {
+		t.Fatalf("detected %d/%d", rep.DetectedPerturbations, rep.TotalPerturbations)
+	}
+	p0 := rep.Perturbations[0]
+	if !p0.Detected || p0.Windows != 3 {
+		t.Fatalf("interval 0: %+v", p0)
+	}
+	if *p0.DeltaSMs != 100 { // first anomalous window starts 1.1 s, onset 1 s
+		t.Fatalf("Δs %g ms, want 100", *p0.DeltaSMs)
+	}
+	if *p0.DeltaEMs != 300 { // last anomalous window ends 2.3 s, offset 2 s
+		t.Fatalf("Δe %g ms, want 300", *p0.DeltaEMs)
+	}
+	if rep.Perturbations[1].Detected {
+		t.Fatalf("interval 1 should be undetected: %+v", rep.Perturbations[1])
+	}
+}
+
+// TestScorerMatchesBatchOnRandomFixtures drives the streaming scorer and
+// the original batch implementation over randomised sequential window
+// streams and periodic-ish truth schedules; every scored field must match.
+func TestScorerMatchesBatchOnRandomFixtures(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+
+		// Random disjoint truth schedule.
+		var truth []perturb.Interval
+		at := time.Duration(rng.Intn(2000)) * time.Millisecond
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			start := at + time.Duration(500+rng.Intn(3000))*time.Millisecond
+			end := start + time.Duration(200+rng.Intn(2000))*time.Millisecond
+			truth = append(truth, perturb.Interval{Start: start, End: end})
+			at = end
+		}
+		slack := time.Duration(rng.Intn(1000)) * time.Millisecond
+		warmup := time.Duration(rng.Intn(800)) * time.Millisecond
+
+		// Sequential 40 ms windows over the whole horizon with random
+		// anomaly flags (denser inside the truth intervals).
+		horizon := at + 2*time.Second
+		win := 40 * time.Millisecond
+		var decisions []batchSpan
+		for s := time.Duration(0); s < horizon; s += win {
+			d := batchSpan{start: s, end: s + win}
+			p := 0.05
+			for _, iv := range truth {
+				if s < iv.End && iv.Start < s+win {
+					p = 0.6
+				}
+			}
+			d.anomalous = rng.Float64() < p
+			decisions = append(decisions, d)
+		}
+
+		var want Report
+		batchScore(&want, decisions, truth, slack, warmup)
+
+		sc := NewScorer(truth, slack, warmup)
+		for _, d := range decisions {
+			sc.Observe(d.start, d.end, d.anomalous)
+		}
+		var got Report
+		sc.Finish(&got)
+
+		reportsEqual(t, &got, &want)
+	}
+}

@@ -1,0 +1,83 @@
+package lof
+
+import (
+	"math/rand"
+	"testing"
+
+	"enduratrace/internal/distance"
+)
+
+// benchPoints draws n pmf-shaped reference vectors of dimension dim
+// (normalised, strictly positive — the shape the monitor feeds LOF).
+func benchPoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		var sum float64
+		for j := range p {
+			p[j] = rng.Float64() + 1e-3
+			sum += p[j]
+		}
+		for j := range p {
+			p[j] /= sum
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// benchmarkScore measures Model.Score — the monitoring hot path, run on
+// every gate trip — for one index/distance combination.
+func benchmarkScore(b *testing.B, n int, d distance.Distance, useVPTree bool) {
+	const dim = 26 // mediasim pmf (25 event types) + rate feature
+	pts := benchPoints(n, dim, 1)
+	m, err := Fit(pts, 20, d, FitOptions{UseVPTree: useVPTree, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := benchPoints(64, dim, 2)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.Score(queries[i%len(queries)])
+	}
+	_ = sink
+}
+
+func BenchmarkScoreBruteSymKL1000(b *testing.B) {
+	benchmarkScore(b, 1000, distance.Must("symkl"), false)
+}
+
+func BenchmarkScoreBruteSymKL3000(b *testing.B) {
+	benchmarkScore(b, 3000, distance.Must("symkl"), false)
+}
+
+func BenchmarkScoreBruteL21000(b *testing.B) {
+	benchmarkScore(b, 1000, distance.Must("l2"), false)
+}
+
+func BenchmarkScoreVPTreeL21000(b *testing.B) {
+	benchmarkScore(b, 1000, distance.Must("l2"), true)
+}
+
+func BenchmarkScoreBruteHellinger1000(b *testing.B) {
+	benchmarkScore(b, 1000, distance.Must("hellinger"), false)
+}
+
+func BenchmarkScoreVPTreeHellinger1000(b *testing.B) {
+	benchmarkScore(b, 1000, distance.Must("hellinger"), true)
+}
+
+// BenchmarkFitBruteSymKL1000 measures the learning step (pairwise kNN at
+// fit time), the other cost the ROADMAP perf item cares about.
+func BenchmarkFitBruteSymKL1000(b *testing.B) {
+	pts := benchPoints(1000, 26, 1)
+	d := distance.Must("symkl")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(pts, 20, d, FitOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"enduratrace/internal/eval"
+	"enduratrace/internal/stats"
+)
+
+// Metric summarises one quantity across a cell's seeds: sample mean with
+// a Student-t 95% confidence half-width, plus the observed range.
+type Metric struct {
+	Mean float64 `json:"mean"`
+	// CI95 is the 95% confidence half-width of the mean (0 with fewer
+	// than two samples).
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	N    int     `json:"n"`
+}
+
+func metricOf(r *stats.Running) Metric {
+	return Metric{
+		Mean: r.Mean(),
+		CI95: r.ConfidenceInterval(0.95),
+		Min:  r.Min(),
+		Max:  r.Max(),
+		N:    r.N(),
+	}
+}
+
+// CellSummary is the aggregated outcome of one cell across its seeds; a
+// BENCH_sweep.json file is a JSON array of these.
+type CellSummary struct {
+	Cell
+	Seeds []int64 `json:"seeds"`
+
+	// Reduction aggregates the per-seed reduction factors over the seeds
+	// that recorded anything; UnrecordedSeeds counts the rest (their
+	// reduction is undefined — effectively infinite).
+	Reduction       Metric `json:"reduction"`
+	UnrecordedSeeds int    `json:"unrecorded_seeds"`
+
+	Precision Metric `json:"precision"`
+	Recall    Metric `json:"recall"`
+
+	// DeltaSMs/DeltaEMs aggregate the per-seed mean detection latencies
+	// over the seeds that detected at least one perturbation.
+	DeltaSMs Metric `json:"delta_s_ms"`
+	DeltaEMs Metric `json:"delta_e_ms"`
+
+	// DetectedPerturbations / TotalPerturbations are summed across seeds.
+	DetectedPerturbations int `json:"detected_perturbations"`
+	TotalPerturbations    int `json:"total_perturbations"`
+
+	Windows       int64 `json:"windows"`
+	Anomalies     int64 `json:"anomalies"`
+	RecordedBytes int64 `json:"recorded_bytes"`
+	FullBytes     int64 `json:"full_bytes"`
+}
+
+// cellAcc is the streaming state per cell: Welford accumulators only,
+// never the reports themselves.
+type cellAcc struct {
+	seeds      []int64
+	reduction  stats.Running
+	precision  stats.Running
+	recall     stats.Running
+	deltaS     stats.Running
+	deltaE     stats.Running
+	unrecorded int
+	detected   int
+	total      int
+	windows    int64
+	anomalies  int64
+	recBytes   int64
+	fullBytes  int64
+}
+
+// Aggregator folds per-seed eval.Reports into per-cell summaries as they
+// arrive, in any order, holding O(cells) state. It is not safe for
+// concurrent use; Run serialises Add calls.
+type Aggregator struct {
+	order []Cell
+	cells map[Cell]*cellAcc
+}
+
+// NewAggregator pre-registers the cells in their deterministic grid order
+// so Summaries comes out grid-ordered regardless of job completion order.
+func NewAggregator(cells []Cell) *Aggregator {
+	a := &Aggregator{cells: make(map[Cell]*cellAcc, len(cells))}
+	for _, c := range cells {
+		a.order = append(a.order, c)
+		a.cells[c] = &cellAcc{}
+	}
+	return a
+}
+
+// Add folds one seed's report into its cell.
+func (a *Aggregator) Add(cell Cell, seed int64, rep *eval.Report) {
+	acc, ok := a.cells[cell]
+	if !ok {
+		acc = &cellAcc{}
+		a.order = append(a.order, cell)
+		a.cells[cell] = acc
+	}
+	acc.seeds = append(acc.seeds, seed)
+	if rep.ReductionFactor != nil {
+		acc.reduction.Add(*rep.ReductionFactor)
+	} else {
+		acc.unrecorded++
+	}
+	// Like reduction, the ratios are folded only where defined: a seed
+	// that flagged nothing has no precision, and one whose windows never
+	// overlapped truth has no recall — literal 0s would bias the mean.
+	if rep.ScoredAnomalousWindows > 0 {
+		acc.precision.Add(rep.Precision)
+	}
+	if rep.TruthWindows > 0 {
+		acc.recall.Add(rep.Recall)
+	}
+	if rep.DetectedPerturbations > 0 {
+		acc.deltaS.Add(rep.MeanDeltaSMs)
+		acc.deltaE.Add(rep.MeanDeltaEMs)
+	}
+	acc.detected += rep.DetectedPerturbations
+	acc.total += rep.TotalPerturbations
+	acc.windows += int64(rep.Windows)
+	acc.anomalies += int64(rep.Anomalies)
+	acc.recBytes += rep.RecordedBytes
+	acc.fullBytes += rep.FullBytes
+}
+
+// Summaries returns the per-cell summaries in grid order, skipping cells
+// that never received a report.
+func (a *Aggregator) Summaries() []CellSummary {
+	out := make([]CellSummary, 0, len(a.order))
+	for _, c := range a.order {
+		acc := a.cells[c]
+		if len(acc.seeds) == 0 {
+			continue
+		}
+		seeds := append([]int64(nil), acc.seeds...)
+		sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+		out = append(out, CellSummary{
+			Cell:                  c,
+			Seeds:                 seeds,
+			Reduction:             metricOf(&acc.reduction),
+			UnrecordedSeeds:       acc.unrecorded,
+			Precision:             metricOf(&acc.precision),
+			Recall:                metricOf(&acc.recall),
+			DeltaSMs:              metricOf(&acc.deltaS),
+			DeltaEMs:              metricOf(&acc.deltaE),
+			DetectedPerturbations: acc.detected,
+			TotalPerturbations:    acc.total,
+			Windows:               acc.windows,
+			Anomalies:             acc.anomalies,
+			RecordedBytes:         acc.recBytes,
+			FullBytes:             acc.fullBytes,
+		})
+	}
+	return out
+}
+
+// SortKeys lists the metrics SortSummaries accepts.
+func SortKeys() []string {
+	return []string{"reduction", "precision", "recall", "delta_s", "delta_e", "detected"}
+}
+
+// SortSummaries orders summaries by the named metric, best first
+// (descending for reduction/precision/recall/detected, ascending for the
+// latency deltas). The sort is stable, so ties keep grid order.
+func SortSummaries(ss []CellSummary, metric string) error {
+	var key func(CellSummary) float64
+	desc := true
+	switch metric {
+	case "reduction":
+		// A cell whose seeds recorded nothing has N==0 and Mean 0, which
+		// the descending sort deliberately ranks last: its "infinite"
+		// reduction is vacuous (it detected nothing), and the table renders
+		// it as n/a with unrecorded_seeds disclosing the cause.
+		key = func(s CellSummary) float64 { return s.Reduction.Mean }
+	case "precision":
+		key = func(s CellSummary) float64 { return s.Precision.Mean }
+	case "recall":
+		key = func(s CellSummary) float64 { return s.Recall.Mean }
+	case "detected":
+		key = func(s CellSummary) float64 {
+			if s.TotalPerturbations == 0 {
+				return 0
+			}
+			return float64(s.DetectedPerturbations) / float64(s.TotalPerturbations)
+		}
+	case "delta_s":
+		// A cell with no detections has no latency at all — rank it last,
+		// not as a perfect 0 ms.
+		key = func(s CellSummary) float64 {
+			if s.DeltaSMs.N == 0 {
+				return math.Inf(1)
+			}
+			return s.DeltaSMs.Mean
+		}
+		desc = false
+	case "delta_e":
+		key = func(s CellSummary) float64 {
+			if s.DeltaEMs.N == 0 {
+				return math.Inf(1)
+			}
+			return s.DeltaEMs.Mean
+		}
+		desc = false
+	default:
+		return fmt.Errorf("sweep: unknown sort metric %q (have %v)", metric, SortKeys())
+	}
+	sort.SliceStable(ss, func(i, j int) bool {
+		if desc {
+			return key(ss[i]) > key(ss[j])
+		}
+		return key(ss[i]) < key(ss[j])
+	})
+	return nil
+}

@@ -1,0 +1,96 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"enduratrace/internal/eval"
+)
+
+// RunOptions tunes sweep execution.
+type RunOptions struct {
+	// Workers bounds the number of concurrent eval runs; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// OnResult, when non-nil, observes every job result as it completes
+	// (in completion order, which is nondeterministic). Calls are
+	// serialised with the aggregation, so it needs no locking of its own.
+	OnResult func(Result)
+}
+
+// Result is one finished job.
+type Result struct {
+	Job     Job
+	Report  *eval.Report
+	Err     error
+	Elapsed time.Duration
+}
+
+// Run expands the grid, executes every job on a bounded worker pool, and
+// streams the results into per-cell summaries, which come back in grid
+// order. Reports are folded as they arrive and then dropped, so memory is
+// O(cells), not O(jobs). When jobs fail, the remaining jobs still run and
+// the joined errors are returned alongside the summaries of the cells
+// that did complete.
+func Run(g Grid, opts RunOptions) ([]CellSummary, error) {
+	jobs, err := g.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	jobCh := make(chan Job)
+	resCh := make(chan Result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				start := time.Now()
+				var res Result
+				res.Job = j
+				o, err := g.Options(j)
+				if err == nil {
+					res.Report, err = eval.Run(o)
+				}
+				if err != nil {
+					res.Err = fmt.Errorf("sweep: job %d (%s seed %d): %w", j.Index, j.Cell, j.Seed, err)
+				}
+				res.Elapsed = time.Since(start)
+				resCh <- res
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+		wg.Wait()
+		close(resCh)
+	}()
+
+	agg := NewAggregator(g.Cells())
+	var errs []error
+	for res := range resCh {
+		if res.Err != nil {
+			errs = append(errs, res.Err)
+		} else {
+			agg.Add(res.Job.Cell, res.Job.Seed, res.Report)
+		}
+		if opts.OnResult != nil {
+			opts.OnResult(res)
+		}
+	}
+	return agg.Summaries(), errors.Join(errs...)
+}

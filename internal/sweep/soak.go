@@ -1,0 +1,50 @@
+package sweep
+
+import (
+	"time"
+
+	"enduratrace/internal/eval"
+)
+
+// SoakOptions configures a long-horizon single-cell run.
+type SoakOptions struct {
+	// Eval is the experiment to run; RunDuration is the soak horizon and
+	// may be hours long — decisions are scored online (eval.Scorer), so
+	// memory stays constant regardless.
+	Eval eval.Options
+	// Every is the trace time between progress reports (default 30 s).
+	Every time.Duration
+	// OnProgress, when non-nil, receives periodic progress augmented with
+	// wall-clock pacing.
+	OnProgress func(SoakProgress)
+}
+
+// SoakProgress is a soak progress tick.
+type SoakProgress struct {
+	eval.Progress
+	// Wall is the wall-clock time since the monitored run started.
+	Wall time.Duration
+	// Rate is trace seconds processed per wall second (how much faster
+	// than real time the soak is running).
+	Rate float64
+}
+
+// Soak runs one long cell: a plain eval.Run with progress plumbed
+// through. The report is identical to what eval.Run would produce for the
+// same options — soak mode changes observability, not results.
+func Soak(o SoakOptions) (*eval.Report, error) {
+	opts := o.Eval
+	if o.OnProgress != nil {
+		opts.ProgressInterval = o.Every
+		start := time.Now() // includes the learning step, as the operator experiences it
+		opts.OnProgress = func(p eval.Progress) {
+			wall := time.Since(start)
+			rate := 0.0
+			if wall > 0 {
+				rate = p.TraceTime.Seconds() / wall.Seconds()
+			}
+			o.OnProgress(SoakProgress{Progress: p, Wall: wall, Rate: rate})
+		}
+	}
+	return eval.Run(opts)
+}
