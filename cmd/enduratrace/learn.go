@@ -5,10 +5,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"enduratrace/internal/core"
 	"enduratrace/internal/distance"
 	"enduratrace/internal/eval"
+	"enduratrace/internal/lof"
 	"enduratrace/internal/mediasim"
 	"enduratrace/internal/stats"
 )
@@ -23,12 +25,16 @@ func coreFlags(fs *flag.FlagSet, def core.Config) func() (core.Config, error) {
 	k := fs.Int("k", def.K, "LOF neighbourhood size")
 	alpha := fs.Float64("alpha", def.Alpha, "LOF anomaly threshold")
 	gate := fs.String("gate", def.GateDistance.Name, "gate distance (see -list-distances)")
-	gateThreshold := fs.Float64("gate-threshold", def.GateThreshold, "gate distance above which LOF runs")
+	gateThreshold := fs.String("gate-threshold", fmt.Sprintf("%g", def.GateThreshold),
+		"gate distance above which LOF runs, or 'auto' to calibrate from the reference trace's gate-distance quantiles")
+	gateAutoQ := fs.Float64("gate-auto-q", 0.90, "reference quantile used by '-gate-threshold auto'")
 	lofDist := fs.String("lof-distance", def.LOFDistance.Name, "LOF dissimilarity")
 	smoothing := fs.Float64("smoothing", def.Smoothing, "additive pmf smoothing epsilon")
 	rate := fs.Bool("rate", def.IncludeRate, "append the saturating event-rate feature")
 	vptree := fs.Bool("vptree", def.UseVPTree, "use the VP-tree index (metric LOF distance only)")
-	seed := fs.Int64("model-seed", def.Seed, "VP-tree construction seed")
+	seed := fs.Int64("model-seed", def.Seed, "VP-tree construction / condensation seed")
+	condense := fs.Int("condense", def.CondenseTarget,
+		"condense the reference set to at most N points by farthest-point sampling (0 = keep all, bit-exact scoring)")
 	list := fs.Bool("list-distances", false, "print the distance catalogue and exit")
 	return func() (core.Config, error) {
 		if *list {
@@ -44,11 +50,14 @@ func coreFlags(fs *flag.FlagSet, def core.Config) func() (core.Config, error) {
 		}
 		cfg.K = *k
 		cfg.Alpha = *alpha
-		cfg.GateThreshold = *gateThreshold
 		cfg.UseVPTree = *vptree
 		cfg.Seed = *seed
 		cfg.Smoothing = *smoothing
 		cfg.IncludeRate = *rate
+		cfg.CondenseTarget = *condense
+		if err := applyGateThreshold(&cfg, *gateThreshold, *gateAutoQ); err != nil {
+			return cfg, err
+		}
 		var err error
 		if cfg.GateDistance, err = distance.ByName(*gate); err != nil {
 			return cfg, err
@@ -58,6 +67,24 @@ func coreFlags(fs *flag.FlagSet, def core.Config) func() (core.Config, error) {
 		}
 		return cfg, cfg.Validate()
 	}
+}
+
+// applyGateThreshold parses a -gate-threshold value: a number fixes the
+// threshold, the literal "auto" enables reference-quantile calibration at
+// quantile q.
+func applyGateThreshold(cfg *core.Config, val string, q float64) error {
+	if val == "auto" {
+		cfg.GateAuto = true
+		cfg.GateAutoQuantile = q
+		return nil
+	}
+	thr, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad -gate-threshold %q (want a number or 'auto'): %w", val, err)
+	}
+	cfg.GateAuto = false
+	cfg.GateThreshold = thr
+	return nil
 }
 
 func cmdLearn(args []string) error {
@@ -101,23 +128,40 @@ func cmdLearn(args []string) error {
 
 	scores := learned.Model.TrainScores()
 	summary := struct {
-		Model      string  `json:"model"`
-		RefWindows int     `json:"ref_windows"`
-		MeanCount  float64 `json:"mean_count"`
-		TrainP50   float64 `json:"train_lof_p50"`
-		TrainP95   float64 `json:"train_lof_p95"`
-		TrainP99   float64 `json:"train_lof_p99"`
+		Model         string              `json:"model"`
+		RefWindows    int                 `json:"ref_windows"`
+		ModelPoints   int                 `json:"model_points"`
+		MeanCount     float64             `json:"mean_count"`
+		TrainP50      float64             `json:"train_lof_p50"`
+		TrainP95      float64             `json:"train_lof_p95"`
+		TrainP99      float64             `json:"train_lof_p99"`
+		Condense      *lof.CondenseReport `json:"condense,omitempty"`
+		GateThreshold *float64            `json:"auto_gate_threshold,omitempty"`
 	}{
-		Model:      *modelOut,
-		RefWindows: learned.RefWindows,
-		MeanCount:  learned.MeanCount,
-		TrainP50:   stats.Quantile(scores, 0.50),
-		TrainP95:   stats.Quantile(scores, 0.95),
-		TrainP99:   stats.Quantile(scores, 0.99),
+		Model:       *modelOut,
+		RefWindows:  learned.RefWindows,
+		ModelPoints: learned.Model.Len(),
+		MeanCount:   learned.MeanCount,
+		TrainP50:    stats.Quantile(scores, 0.50),
+		TrainP95:    stats.Quantile(scores, 0.95),
+		TrainP99:    stats.Quantile(scores, 0.99),
+		Condense:    learned.Model.Cond,
+	}
+	if learned.AutoGateThreshold > 0 {
+		summary.GateThreshold = &learned.AutoGateThreshold
 	}
 	fmt.Fprintf(os.Stderr,
 		"learn: %d reference windows (mean %.1f events), train LOF p50=%.3f p95=%.3f p99=%.3f\nlearn: model written to %s\n",
 		summary.RefWindows, summary.MeanCount, summary.TrainP50, summary.TrainP95, summary.TrainP99, *modelOut)
+	if c := learned.Model.Cond; c != nil {
+		fmt.Fprintf(os.Stderr,
+			"learn: condensed %d -> %d points; full-set LOF under condensed model p50=%.3f p95=%.3f p99=%.3f\n",
+			c.OriginalN, c.KeptN, c.P50, c.P95, c.P99)
+	}
+	if learned.AutoGateThreshold > 0 {
+		fmt.Fprintf(os.Stderr, "learn: auto gate threshold %.4g (%s, q=%.3g)\n",
+			learned.AutoGateThreshold, cfg.GateDistance.Name, cfg.GateAutoQuantile)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

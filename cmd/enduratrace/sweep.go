@@ -60,7 +60,11 @@ func cmdSweep(args []string) error {
 	pFirst := fs.Duration("perturb-first", def.Base.PerturbFirst, "start of the first perturbation")
 	pPeriod := fs.Duration("perturb-period", def.Base.PerturbPeriod, "perturbation period")
 	pDur := fs.Duration("perturb-duration", def.Base.PerturbDuration, "length of each perturbation")
-	gateThreshold := fs.Float64("gate-threshold", def.Base.Core.GateThreshold, "gate distance above which LOF runs")
+	gateThreshold := fs.String("gate-threshold", fmt.Sprintf("%g", def.Base.Core.GateThreshold),
+		"gate distance above which LOF runs, or 'auto' to calibrate per cell from its reference quantiles")
+	gateAutoQ := fs.Float64("gate-auto-q", 0.90, "reference quantile used by '-gate-threshold auto'")
+	condense := fs.Int("condense", def.Base.Core.CondenseTarget,
+		"condense each cell's reference set to at most N points (0 = keep all, bit-exact scoring)")
 	workers := fs.Int("workers", 0, "parallel eval workers (0 = GOMAXPROCS)")
 	out := fs.String("out", "BENCH_sweep.json", "write the per-cell summary array here ('' to skip)")
 	sortBy := fs.String("sort", "reduction", fmt.Sprintf("summary table sort metric, one of %v", sweep.SortKeys()))
@@ -75,7 +79,10 @@ func cmdSweep(args []string) error {
 	g.Base.PerturbFirst = *pFirst
 	g.Base.PerturbPeriod = *pPeriod
 	g.Base.PerturbDuration = *pDur
-	g.Base.Core.GateThreshold = *gateThreshold
+	g.Base.Core.CondenseTarget = *condense
+	if err := applyGateThreshold(&g.Base.Core, *gateThreshold, *gateAutoQ); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
 	if *seeds <= 0 {
 		return fmt.Errorf("sweep: -seeds must be positive, got %d", *seeds)
 	}

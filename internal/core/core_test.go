@@ -187,8 +187,8 @@ func TestLearnRunEndToEnd(t *testing.T) {
 	if stats.FullBytes != full {
 		t.Fatalf("FullBytes = %d, independent measure %d", stats.FullBytes, full)
 	}
-	if rf := stats.ReductionFactor(); rf <= 1 {
-		t.Fatalf("reduction factor %g, want > 1", rf)
+	if rf, ok := stats.ReductionFactor(); !ok || rf <= 1 {
+		t.Fatalf("reduction factor %g (ok=%v), want defined and > 1", rf, ok)
 	}
 	if stats.Start != 0 || stats.End != 3*time.Second {
 		t.Fatalf("span [%v,%v), want [0,3s)", stats.Start, stats.End)
@@ -263,6 +263,77 @@ func TestModelSaveLoadRoundTrip(t *testing.T) {
 	a, b := learned.Model.Score(q), learned2.Model.Score(q)
 	if math.Abs(a-b) > 1e-12 {
 		t.Fatalf("reloaded model scores %g, original %g", b, a)
+	}
+}
+
+// TestModelSaveLoadRoundTripCondensed: a condensed, auto-gated model must
+// fully round-trip — the reloaded model scores identically (the saved
+// points are the condensed set, so the reload's condensation is a no-op
+// that still re-enables the fast kernels), and the condensation report
+// plus calibrated gate threshold survive.
+func TestModelSaveLoadRoundTripCondensed(t *testing.T) {
+	cfg := testConfig()
+	cfg.IncludeRate = true
+	cfg.CondenseTarget = 40
+	cfg.GateAuto = true
+	ref := synth(0, 4*time.Second, refWeights, 1)
+	learned, err := Learn(cfg, trace.NewSliceReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned.Model.Len() != 40 || learned.Model.Cond == nil {
+		t.Fatalf("learned model not condensed: %d points, cond %+v",
+			learned.Model.Len(), learned.Model.Cond)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, cfg, learned); err != nil {
+		t.Fatal(err)
+	}
+	cfg2, learned2, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.CondenseTarget != 40 || !cfg2.GateAuto {
+		t.Fatalf("loaded config lost condensation/gate fields: %+v", cfg2)
+	}
+	if learned2.Model.Len() != 40 {
+		t.Fatalf("reloaded model has %d points, want 40", learned2.Model.Len())
+	}
+	if learned2.Model.Cond == nil || *learned2.Model.Cond != *learned.Model.Cond {
+		t.Fatalf("condense report lost in round-trip: %+v vs %+v",
+			learned2.Model.Cond, learned.Model.Cond)
+	}
+	if learned2.AutoGateThreshold != learned.AutoGateThreshold {
+		t.Fatalf("auto gate threshold %g != %g", learned2.AutoGateThreshold, learned.AutoGateThreshold)
+	}
+	q := learned.Featurizer.Features(window.Window{
+		Start: 0, End: 20 * time.Millisecond,
+		Events: synth(0, 20*time.Millisecond, []float64{1, 1, 1, 1}, 9),
+	})
+	if a, b := learned.Model.Score(q), learned2.Model.Score(q); a != b {
+		t.Fatalf("reloaded condensed model scores %g, original %g", b, a)
+	}
+}
+
+func TestValidateCatchesBadCondenseAndGateAuto(t *testing.T) {
+	for i, mutate := range []func(*Config){
+		func(c *Config) { c.CondenseTarget = -1 },
+		func(c *Config) { c.CondenseTarget = c.K }, // must exceed K
+		func(c *Config) { c.GateAutoQuantile = 1.5 },
+		func(c *Config) { c.GateAutoQuantile = -0.5 },
+	} {
+		cfg := testConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad condense/gate config %d validated", i)
+		}
+	}
+	cfg := testConfig()
+	cfg.CondenseTarget = cfg.K + 1
+	cfg.GateAuto = true
+	cfg.GateAutoQuantile = 0.95
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("good condense/gate config rejected: %v", err)
 	}
 }
 

@@ -17,24 +17,38 @@ import (
 // compared to shipping the index and keeps the format independent of index
 // internals.
 type modelFile struct {
-	Version       int         `json:"version"`
-	NumTypes      int         `json:"num_types"`
-	WindowNS      int64       `json:"window_ns"`
-	WindowCount   int         `json:"window_count"`
-	K             int         `json:"k"`
-	Alpha         float64     `json:"alpha"`
-	GateThreshold float64     `json:"gate_threshold"`
-	GateDistance  string      `json:"gate_distance"`
-	LOFDistance   string      `json:"lof_distance"`
-	MergeLambda   float64     `json:"merge_lambda"`
-	Smoothing     float64     `json:"smoothing"`
-	IncludeRate   bool        `json:"include_rate"`
-	UseVPTree     bool        `json:"use_vptree"`
-	Seed          int64       `json:"seed"`
-	RateScale     float64     `json:"rate_scale"`
-	RefWindows    int         `json:"ref_windows"`
-	MeanCount     float64     `json:"mean_count"`
-	Points        [][]float64 `json:"points"`
+	Version       int     `json:"version"`
+	NumTypes      int     `json:"num_types"`
+	WindowNS      int64   `json:"window_ns"`
+	WindowCount   int     `json:"window_count"`
+	K             int     `json:"k"`
+	Alpha         float64 `json:"alpha"`
+	GateThreshold float64 `json:"gate_threshold"`
+	GateDistance  string  `json:"gate_distance"`
+	LOFDistance   string  `json:"lof_distance"`
+	MergeLambda   float64 `json:"merge_lambda"`
+	Smoothing     float64 `json:"smoothing"`
+	IncludeRate   bool    `json:"include_rate"`
+	UseVPTree     bool    `json:"use_vptree"`
+	Seed          int64   `json:"seed"`
+	RateScale     float64 `json:"rate_scale"`
+	RefWindows    int     `json:"ref_windows"`
+	MeanCount     float64 `json:"mean_count"`
+
+	// Condensation (all zero-valued for uncondensed models, keeping old
+	// files loadable): the saved points are the already-condensed set, so
+	// re-fitting on load is a condensation no-op; the target is kept so
+	// the reload re-enables the fast KL-family kernels.
+	CondenseTarget int                 `json:"condense_target,omitempty"`
+	Condense       *lof.CondenseReport `json:"condense,omitempty"`
+
+	// Auto gate calibration: the threshold derived from the reference
+	// trace's gate-distance quantiles (see Config.GateAuto).
+	GateAuto          bool    `json:"gate_auto,omitempty"`
+	GateAutoQuantile  float64 `json:"gate_auto_quantile,omitempty"`
+	AutoGateThreshold float64 `json:"auto_gate_threshold,omitempty"`
+
+	Points [][]float64 `json:"points"`
 }
 
 const modelFileVersion = 1
@@ -49,25 +63,38 @@ func SaveModel(w io.Writer, cfg Config, l *Learned) error {
 	if cfg.GateDistance.Name == "" || cfg.LOFDistance.Name == "" {
 		return fmt.Errorf("core: cannot save a model with unnamed distances")
 	}
+	gateThreshold := cfg.GateThreshold
+	if cfg.GateAuto && l.AutoGateThreshold > 0 {
+		// Auto-gated models write the calibrated value into the plain
+		// gate_threshold field too, so a consumer that predates (or
+		// ignores) the gate_auto fields still monitors with the right
+		// gate instead of the stale fixed default.
+		gateThreshold = l.AutoGateThreshold
+	}
 	mf := modelFile{
-		Version:       modelFileVersion,
-		NumTypes:      cfg.NumTypes,
-		WindowNS:      int64(cfg.WindowDuration),
-		WindowCount:   cfg.WindowCount,
-		K:             cfg.K,
-		Alpha:         cfg.Alpha,
-		GateThreshold: cfg.GateThreshold,
-		GateDistance:  cfg.GateDistance.Name,
-		LOFDistance:   cfg.LOFDistance.Name,
-		MergeLambda:   cfg.MergeLambda,
-		Smoothing:     cfg.Smoothing,
-		IncludeRate:   cfg.IncludeRate,
-		UseVPTree:     cfg.UseVPTree,
-		Seed:          cfg.Seed,
-		RateScale:     l.Featurizer.RateScale,
-		RefWindows:    l.RefWindows,
-		MeanCount:     l.MeanCount,
-		Points:        l.Model.Points,
+		Version:           modelFileVersion,
+		NumTypes:          cfg.NumTypes,
+		WindowNS:          int64(cfg.WindowDuration),
+		WindowCount:       cfg.WindowCount,
+		K:                 cfg.K,
+		Alpha:             cfg.Alpha,
+		GateThreshold:     gateThreshold,
+		GateDistance:      cfg.GateDistance.Name,
+		LOFDistance:       cfg.LOFDistance.Name,
+		MergeLambda:       cfg.MergeLambda,
+		Smoothing:         cfg.Smoothing,
+		IncludeRate:       cfg.IncludeRate,
+		UseVPTree:         cfg.UseVPTree,
+		Seed:              cfg.Seed,
+		RateScale:         l.Featurizer.RateScale,
+		RefWindows:        l.RefWindows,
+		MeanCount:         l.MeanCount,
+		CondenseTarget:    cfg.CondenseTarget,
+		Condense:          l.Model.Cond,
+		GateAuto:          cfg.GateAuto,
+		GateAutoQuantile:  cfg.GateAutoQuantile,
+		AutoGateThreshold: l.AutoGateThreshold,
+		Points:            l.Model.PointRows(),
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(&mf)
@@ -92,29 +119,42 @@ func LoadModel(r io.Reader) (Config, *Learned, error) {
 		return Config{}, nil, err
 	}
 	cfg := Config{
-		NumTypes:       mf.NumTypes,
-		WindowDuration: time.Duration(mf.WindowNS),
-		WindowCount:    mf.WindowCount,
-		K:              mf.K,
-		Alpha:          mf.Alpha,
-		GateThreshold:  mf.GateThreshold,
-		GateDistance:   gate,
-		LOFDistance:    lofDist,
-		MergeLambda:    mf.MergeLambda,
-		Smoothing:      mf.Smoothing,
-		IncludeRate:    mf.IncludeRate,
-		UseVPTree:      mf.UseVPTree,
-		Seed:           mf.Seed,
+		NumTypes:         mf.NumTypes,
+		WindowDuration:   time.Duration(mf.WindowNS),
+		WindowCount:      mf.WindowCount,
+		K:                mf.K,
+		Alpha:            mf.Alpha,
+		GateThreshold:    mf.GateThreshold,
+		GateDistance:     gate,
+		LOFDistance:      lofDist,
+		MergeLambda:      mf.MergeLambda,
+		Smoothing:        mf.Smoothing,
+		IncludeRate:      mf.IncludeRate,
+		UseVPTree:        mf.UseVPTree,
+		Seed:             mf.Seed,
+		CondenseTarget:   mf.CondenseTarget,
+		GateAuto:         mf.GateAuto,
+		GateAutoQuantile: mf.GateAutoQuantile,
 	}
 	if err := cfg.Validate(); err != nil {
 		return Config{}, nil, fmt.Errorf("core: model file config: %w", err)
 	}
+	// The saved points are the post-condensation set, so re-fitting with
+	// the same target is a no-op selection that still re-enables the fast
+	// kernels; kdist/lrd are recomputed exactly as the original fit did.
 	model, err := lof.Fit(mf.Points, mf.K, lofDist, lof.FitOptions{
-		UseVPTree: mf.UseVPTree,
-		Seed:      mf.Seed,
+		UseVPTree:      mf.UseVPTree,
+		Seed:           mf.Seed,
+		CondenseTarget: mf.CondenseTarget,
 	})
 	if err != nil {
 		return Config{}, nil, fmt.Errorf("core: refitting model: %w", err)
+	}
+	if mf.Condense != nil {
+		// Keep the learn-time accuracy report: the reload cannot recompute
+		// it (the dropped originals are gone) and Fit's no-op condensation
+		// leaves Cond nil.
+		model.Cond = mf.Condense
 	}
 	learned := &Learned{
 		Model: model,
@@ -124,8 +164,9 @@ func LoadModel(r io.Reader) (Config, *Learned, error) {
 			IncludeRate: mf.IncludeRate,
 			RateScale:   mf.RateScale,
 		},
-		RefWindows: mf.RefWindows,
-		MeanCount:  mf.MeanCount,
+		RefWindows:        mf.RefWindows,
+		MeanCount:         mf.MeanCount,
+		AutoGateThreshold: mf.AutoGateThreshold,
 	}
 	return cfg, learned, nil
 }

@@ -25,6 +25,7 @@ import (
 	"enduratrace/internal/lof"
 	"enduratrace/internal/pmf"
 	"enduratrace/internal/recorder"
+	"enduratrace/internal/stats"
 	"enduratrace/internal/trace"
 	"enduratrace/internal/traceio"
 	"enduratrace/internal/window"
@@ -68,8 +69,27 @@ type Config struct {
 	// UseVPTree selects the VP-tree index at fit time (requires a metric
 	// LOFDistance).
 	UseVPTree bool
-	// Seed controls VP-tree construction.
+	// Seed controls VP-tree construction and condensation sampling.
 	Seed int64
+	// CondenseTarget, when positive, condenses the learned reference set
+	// down to at most that many points by farthest-point sampling (see
+	// lof.FitOptions.CondenseTarget), shrinking the per-trip LOF cost from
+	// O(ref windows) to O(target). Zero (the default) keeps every
+	// reference window and bit-exact scoring.
+	CondenseTarget int
+	// GateAuto derives GateThreshold from the reference trace instead of
+	// the fixed value: Learn replays the gate over the reference windows
+	// and takes the GateAutoQuantile quantile of the observed distances,
+	// so the threshold sits at the clean trace's noise ceiling whatever
+	// the gate distance's scale (a fixed 0.1 is near-dead for jsd, whose
+	// clean-trace distances are an order of magnitude smaller than
+	// symkl's).
+	GateAuto bool
+	// GateAutoQuantile is the reference gate-distance quantile used by
+	// GateAuto; zero means the 0.90 default, which keeps the gate
+	// re-tripping through the interior of a shifted regime (a ceiling
+	// quantile like 0.99 only catches regime edges).
+	GateAutoQuantile float64
 }
 
 // NewConfig returns the configuration used in the paper's experiment
@@ -115,7 +135,24 @@ func (c Config) Validate() error {
 	if c.GateDistance.F == nil || c.LOFDistance.F == nil {
 		return errors.New("core: nil distance function")
 	}
+	if c.CondenseTarget < 0 {
+		return fmt.Errorf("core: CondenseTarget must be >= 0, got %d", c.CondenseTarget)
+	}
+	if c.CondenseTarget > 0 && c.CondenseTarget <= c.K {
+		return fmt.Errorf("core: CondenseTarget %d must exceed K %d", c.CondenseTarget, c.K)
+	}
+	if q := c.GateAutoQuantile; q != 0 && (q <= 0 || q >= 1) {
+		return fmt.Errorf("core: GateAutoQuantile %g outside (0,1)", q)
+	}
 	return nil
+}
+
+// gateAutoQuantile returns the effective auto-calibration quantile.
+func (c Config) gateAutoQuantile() float64 {
+	if c.GateAutoQuantile > 0 {
+		return c.GateAutoQuantile
+	}
+	return 0.90
 }
 
 // NewWindower builds a fresh windower matching the config.
@@ -140,14 +177,23 @@ type Decision struct {
 	Anomalous bool
 }
 
-// Monitor is the online anomaly detector. It is not safe for concurrent
-// use; run one Monitor per trace stream.
+// Monitor is the per-stream half of the online anomaly detector: it holds
+// the mutable stream state (the running past pmf, counters, and the
+// reusable featurization/scoring buffers that make steady-state window
+// processing allocation-free) over an immutable shared Learned. It is not
+// safe for concurrent use; run one Monitor per trace stream — any number
+// of Monitors may share one Learned (see MultiMonitor).
 type Monitor struct {
-	cfg   Config
-	feat  pmf.Featurizer
-	model *lof.Model
+	cfg           Config
+	feat          pmf.Featurizer
+	model         *lof.Model
+	scorer        *lof.Scorer
+	gateThreshold float64
 
-	ppmf     pmf.Vector // the running "past" pmf
+	ppmf    pmf.Vector // the running "past" pmf
+	counts  pmf.Counts // per-window count scratch
+	featBuf pmf.Vector // per-window feature scratch
+
 	seeded   bool
 	windows  int
 	trips    int
@@ -157,7 +203,8 @@ type Monitor struct {
 
 // NewMonitor builds a monitor around a learned model. The model must have
 // been produced by Learn with the same Config (dimension mismatches are
-// rejected).
+// rejected). The Learned is shared, never mutated; all per-stream state
+// lives in the returned Monitor.
 func NewMonitor(cfg Config, learned *Learned) (*Monitor, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -170,15 +217,39 @@ func NewMonitor(cfg Config, learned *Learned) (*Monitor, error) {
 		return nil, fmt.Errorf("core: featurizer dim %d != model dim %d",
 			feat.FeatureDim(), learned.Model.Dim())
 	}
-	return &Monitor{cfg: cfg, feat: feat, model: learned.Model}, nil
+	threshold := cfg.GateThreshold
+	if cfg.GateAuto {
+		if learned.AutoGateThreshold <= 0 {
+			return nil, errors.New("core: GateAuto set but the model carries no calibrated threshold (learned without GateAuto?)")
+		}
+		threshold = learned.AutoGateThreshold
+	}
+	return &Monitor{
+		cfg:           cfg,
+		feat:          feat,
+		model:         learned.Model,
+		scorer:        learned.Model.NewScorer(),
+		gateThreshold: threshold,
+		ppmf:          make(pmf.Vector, feat.Dim),
+		counts:        make(pmf.Counts, feat.Dim),
+		featBuf:       make(pmf.Vector, feat.FeatureDim()),
+	}, nil
 }
+
+// GateThreshold returns the effective gate threshold (the calibrated value
+// under GateAuto, the configured one otherwise).
+func (m *Monitor) GateThreshold() float64 { return m.gateThreshold }
 
 // ProcessWindow runs the §II online step on one window and returns the
 // decision. Recording is the caller's job (see Run), keeping the monitor
 // storage-agnostic.
+//
+// Decision.Features aliases the monitor's reusable featurization buffer:
+// it is valid until the next ProcessWindow call; callers that retain it
+// must clone it.
 func (m *Monitor) ProcessWindow(w window.Window) Decision {
 	m.windows++
-	features := m.feat.Features(w)
+	features := m.feat.FeaturesInto(m.featBuf, m.counts, w)
 	npmf := m.feat.PMFOnly(features)
 
 	d := Decision{Window: w, Features: features, LOF: math.NaN()}
@@ -186,13 +257,13 @@ func (m *Monitor) ProcessWindow(w window.Window) Decision {
 	if !m.seeded {
 		// First window: seed the past pmf and be conservative — run LOF,
 		// since there is no past to compare against.
-		m.ppmf = npmf.Clone()
+		copy(m.ppmf, npmf)
 		m.seeded = true
 		d.GateDist = math.Inf(1)
 		d.GateTripped = true
 	} else {
 		d.GateDist = m.cfg.GateDistance.F(npmf, m.ppmf)
-		d.GateTripped = d.GateDist > m.cfg.GateThreshold
+		d.GateTripped = d.GateDist > m.gateThreshold
 	}
 
 	if !d.GateTripped {
@@ -204,7 +275,7 @@ func (m *Monitor) ProcessWindow(w window.Window) Decision {
 
 	m.trips++
 	m.lofCalls++
-	d.LOF = m.model.Score(features)
+	d.LOF = m.scorer.Score(features)
 	d.Anomalous = d.LOF >= m.cfg.Alpha
 	if d.Anomalous {
 		m.anoms++
@@ -212,7 +283,7 @@ func (m *Monitor) ProcessWindow(w window.Window) Decision {
 	// Regime switch: the past pmf restarts at the new behaviour so the gate
 	// re-arms instead of tripping on every subsequent window of a changed
 	// but steady regime.
-	m.ppmf = npmf.Clone()
+	copy(m.ppmf, npmf)
 	return d
 }
 
@@ -222,16 +293,22 @@ func (m *Monitor) Stats() (windows, gateTrips, lofCalls, anomalies int) {
 }
 
 // Learned bundles a fitted LOF model with the featurizer that produced its
-// points; both are needed to score new windows consistently.
+// points; both are needed to score new windows consistently. A Learned is
+// immutable after Learn returns and safe to share across any number of
+// concurrent Monitors.
 type Learned struct {
 	Model      *lof.Model
 	Featurizer pmf.Featurizer
 	// RefWindows is the number of reference windows the model was fitted
-	// on.
+	// on (before condensation).
 	RefWindows int
 	// MeanCount is the mean event count per reference window (the rate
 	// feature's scale).
 	MeanCount float64
+	// AutoGateThreshold is the gate threshold calibrated from the
+	// reference trace's gate-distance quantiles; zero when the model was
+	// learned without Config.GateAuto.
+	AutoGateThreshold float64
 }
 
 // Learn performs the paper's learning step (§II): the reference trace is
@@ -264,18 +341,42 @@ func Learn(cfg Config, r trace.Reader) (*Learned, error) {
 		points[i] = feat.Features(w)
 	}
 	model, err := lof.Fit(points, cfg.K, cfg.LOFDistance, lof.FitOptions{
-		UseVPTree: cfg.UseVPTree,
-		Seed:      cfg.Seed,
+		UseVPTree:      cfg.UseVPTree,
+		Seed:           cfg.Seed,
+		CondenseTarget: cfg.CondenseTarget,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Learned{
+	learned := &Learned{
 		Model:      model,
 		Featurizer: feat,
 		RefWindows: len(ws),
 		MeanCount:  feat.RateScale,
-	}, nil
+	}
+	if cfg.GateAuto {
+		learned.AutoGateThreshold = calibrateGate(cfg, feat, points)
+	}
+	return learned, nil
+}
+
+// calibrateGate replays the monitor's gate over the (clean) reference
+// windows — seed the past pmf with the first window, then for each
+// subsequent window measure the gate distance and merge — and returns the
+// configured quantile of the observed distances. That quantile is the
+// clean trace's gate-noise ceiling: on live data, distances above it are
+// genuinely unusual for this gate distance's scale, so the threshold
+// adapts to symkl and jsd alike instead of assuming one fixed magnitude.
+func calibrateGate(cfg Config, feat pmf.Featurizer, points [][]float64) float64 {
+	ppmf := make(pmf.Vector, feat.Dim)
+	copy(ppmf, feat.PMFOnly(points[0]))
+	dists := make([]float64, 0, len(points)-1)
+	for _, p := range points[1:] {
+		npmf := feat.PMFOnly(p)
+		dists = append(dists, cfg.GateDistance.F(npmf, ppmf))
+		ppmf.Merge(npmf, cfg.MergeLambda)
+	}
+	return stats.Quantile(dists, cfg.gateAutoQuantile())
 }
 
 // RunStats summarises a monitoring run.
@@ -289,13 +390,15 @@ type RunStats struct {
 	Start, End time.Duration // trace time span covered
 }
 
-// ReductionFactor returns FullBytes / RecBytes (Inf when nothing was
-// recorded); the paper's headline metric.
-func (s RunStats) ReductionFactor() float64 {
+// ReductionFactor returns FullBytes / RecBytes — the paper's headline
+// metric — and whether it is defined. When nothing was recorded the ratio
+// has no value and ok is false (the eval/monitor JSON convention: null,
+// never a float sentinel).
+func (s RunStats) ReductionFactor() (rf float64, ok bool) {
 	if s.RecBytes == 0 {
-		return math.Inf(1)
+		return 0, false
 	}
-	return float64(s.FullBytes) / float64(s.RecBytes)
+	return float64(s.FullBytes) / float64(s.RecBytes), true
 }
 
 // Run streams a trace through the monitor, forwards anomalous windows to
@@ -310,18 +413,28 @@ func Run(cfg Config, learned *Learned, r trace.Reader, sink recorder.Sink,
 	if err != nil {
 		return RunStats{}, err
 	}
+	return mon.Run(r, sink, onDecision)
+}
+
+// Run streams a trace through this monitor stream; see the package-level
+// Run for the sink/callback semantics. Each Monitor owns its windower and
+// byte accounting, so concurrent Monitors over one shared Learned can Run
+// independent streams in parallel.
+func (m *Monitor) Run(r trace.Reader, sink recorder.Sink,
+	onDecision func(Decision) error) (RunStats, error) {
+
 	var stats RunStats
 	acct := traceio.NewSizeAccountant()
 	ctxSink, _ := sink.(*recorder.ContextSink)
 
-	wdr := cfg.NewWindower()
+	wdr := m.cfg.NewWindower()
 	process := func(w window.Window) error {
 		stats.Windows++
 		if stats.Windows == 1 {
 			stats.Start = w.Start
 		}
 		stats.End = w.End
-		d := mon.ProcessWindow(w)
+		d := m.ProcessWindow(w)
 		if d.GateTripped {
 			stats.GateTrips++
 		}

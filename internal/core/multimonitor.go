@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"enduratrace/internal/recorder"
+	"enduratrace/internal/trace"
+)
+
+// MultiMonitor serves N independent trace streams from one shared learned
+// model. The Learned (LOF matrix, per-point densities, featurizer) is
+// immutable and read concurrently; every per-stream mutable quantity —
+// past pmf, scoring scratch, counters, windower — lives in that stream's
+// Monitor, so the streams are race-free by construction and never
+// contend on locks.
+type MultiMonitor struct {
+	learned *Learned
+	streams []*Monitor
+}
+
+// NewMultiMonitor builds n monitors over one shared Learned, all with the
+// same configuration.
+func NewMultiMonitor(cfg Config, learned *Learned, n int) (*MultiMonitor, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: MultiMonitor needs at least one stream, got %d", n)
+	}
+	mm := &MultiMonitor{learned: learned, streams: make([]*Monitor, n)}
+	for i := range mm.streams {
+		mon, err := NewMonitor(cfg, learned)
+		if err != nil {
+			return nil, err
+		}
+		mm.streams[i] = mon
+	}
+	return mm, nil
+}
+
+// Streams returns the number of streams.
+func (mm *MultiMonitor) Streams() int { return len(mm.streams) }
+
+// Stream returns stream i's monitor. The monitor is owned by one
+// goroutine at a time; distinct streams may be driven concurrently.
+func (mm *MultiMonitor) Stream(i int) *Monitor { return mm.streams[i] }
+
+// Learned returns the shared immutable model.
+func (mm *MultiMonitor) Learned() *Learned { return mm.learned }
+
+// Stats sums the per-stream counters. Call it only when no stream is
+// mid-Run (the per-stream counters are not synchronised).
+func (mm *MultiMonitor) Stats() (windows, gateTrips, lofCalls, anomalies int) {
+	for _, m := range mm.streams {
+		w, t, l, a := m.Stats()
+		windows += w
+		gateTrips += t
+		lofCalls += l
+		anomalies += a
+	}
+	return
+}
+
+// StreamResult is one stream's outcome from RunAll.
+type StreamResult struct {
+	Stream int
+	Stats  RunStats
+	Err    error
+}
+
+// RunAll drives every stream concurrently: stream i reads readers[i] and
+// records into sinks[i] (sinks may be nil, or individual entries may be
+// nil, for stat-only monitoring). len(readers) must equal Streams().
+// RunAll blocks until every stream finishes and returns the per-stream
+// results in stream order; it is the shared-model fan-out the north star
+// asks for — one Learned serving N live traces.
+func (mm *MultiMonitor) RunAll(readers []trace.Reader, sinks []recorder.Sink) ([]StreamResult, error) {
+	if len(readers) != len(mm.streams) {
+		return nil, fmt.Errorf("core: %d readers for %d streams", len(readers), len(mm.streams))
+	}
+	if sinks != nil && len(sinks) != len(mm.streams) {
+		return nil, fmt.Errorf("core: %d sinks for %d streams", len(sinks), len(mm.streams))
+	}
+	results := make([]StreamResult, len(mm.streams))
+	var wg sync.WaitGroup
+	for i := range mm.streams {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sink recorder.Sink
+			if sinks != nil {
+				sink = sinks[i]
+			}
+			stats, err := mm.streams[i].Run(readers[i], sink, nil)
+			results[i] = StreamResult{Stream: i, Stats: stats, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return results, nil
+}

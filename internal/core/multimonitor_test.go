@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"enduratrace/internal/trace"
+	"enduratrace/internal/window"
+)
+
+// TestMultiMonitorMatchesSingle drives N concurrent streams over one
+// shared Learned (run under -race in CI) and checks that every stream's
+// decisions are identical to a fresh single-stream monitor's: per-stream
+// state is isolated, the shared model is never written.
+func TestMultiMonitorMatchesSingle(t *testing.T) {
+	cfg := testConfig()
+	ref := synth(0, 2*time.Second, refWeights, 1)
+	learned, err := Learn(cfg, trace.NewSliceReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const streams = 8
+	// Each stream gets its own trace: clean prefix, stream-specific
+	// anomalous splice, clean suffix.
+	runs := make([][]trace.Event, streams)
+	for i := range runs {
+		seed := int64(100 + i)
+		var run []trace.Event
+		run = append(run, synth(0, time.Second, refWeights, seed)...)
+		run = append(run, synth(time.Second, 1200*time.Millisecond, []float64{0, 1, 10, 10}, seed+1)...)
+		run = append(run, synth(1200*time.Millisecond, 2*time.Second, refWeights, seed+2)...)
+		runs[i] = run
+	}
+
+	// Reference outcome: a fresh monitor per stream, run serially.
+	want := make([]RunStats, streams)
+	for i, run := range runs {
+		stats, err := Run(cfg, learned, trace.NewSliceReader(run), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = stats
+	}
+
+	mm, err := NewMultiMonitor(cfg, learned, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Streams() != streams || mm.Learned() != learned {
+		t.Fatalf("MultiMonitor shape wrong: %d streams", mm.Streams())
+	}
+	readers := make([]trace.Reader, streams)
+	for i, run := range runs {
+		readers[i] = trace.NewSliceReader(run)
+	}
+	results, err := mm.RunAll(readers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("stream %d: %v", i, res.Err)
+		}
+		if res.Stats != want[i] {
+			t.Fatalf("stream %d diverged from single-stream run:\n got %+v\nwant %+v", i, res.Stats, want[i])
+		}
+		if res.Stats.Anomalies == 0 {
+			t.Fatalf("stream %d detected nothing", i)
+		}
+	}
+	windows, trips, _, anoms := mm.Stats()
+	var wantW, wantT, wantA int
+	for _, s := range want {
+		wantW += s.Windows
+		wantT += s.GateTrips
+		wantA += s.Anomalies
+	}
+	if windows != wantW || trips != wantT || anoms != wantA {
+		t.Fatalf("aggregate stats %d/%d/%d, want %d/%d/%d", windows, trips, anoms, wantW, wantT, wantA)
+	}
+}
+
+func TestMultiMonitorRejectsBadShapes(t *testing.T) {
+	cfg := testConfig()
+	ref := synth(0, time.Second, refWeights, 1)
+	learned, err := Learn(cfg, trace.NewSliceReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMultiMonitor(cfg, learned, 0); err == nil {
+		t.Fatal("NewMultiMonitor accepted 0 streams")
+	}
+	mm, err := NewMultiMonitor(cfg, learned, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mm.RunAll(make([]trace.Reader, 1), nil); err == nil {
+		t.Fatal("RunAll accepted a reader/stream mismatch")
+	}
+}
+
+// TestProcessWindowZeroAlloc is the allocation-regression gate for the
+// monitor's steady state: after the first window, neither the quiet-gate
+// path nor the gate-tripped LOF path may allocate.
+func TestProcessWindowZeroAlloc(t *testing.T) {
+	cfg := testConfig()
+	ref := synth(0, 2*time.Second, refWeights, 1)
+	learned, err := Learn(cfg, trace.NewSliceReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(cfg, learned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := window.Window{Start: 0, End: 20 * time.Millisecond,
+		Events: synth(0, 20*time.Millisecond, refWeights, 2)}
+	shifted := window.Window{Start: 0, End: 20 * time.Millisecond,
+		Events: synth(0, 20*time.Millisecond, []float64{0, 0, 1, 20}, 3)}
+
+	mon.ProcessWindow(quiet) // seed the past pmf, warm the scratch
+	mon.ProcessWindow(shifted)
+
+	if d := mon.ProcessWindow(quiet); d.GateTripped {
+		// The shifted window reset the past pmf; one quiet window re-arms.
+		mon.ProcessWindow(quiet)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { mon.ProcessWindow(quiet) }); allocs != 0 {
+		t.Errorf("quiet-gate ProcessWindow allocates %v/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { mon.ProcessWindow(shifted) }); allocs != 0 {
+		t.Errorf("tripped-gate ProcessWindow allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestGateAutoCalibration: learning with GateAuto must derive a positive
+// threshold near the clean trace's gate-distance ceiling, and the
+// monitor must honour it — a clean continuation barely trips the gate.
+func TestGateAutoCalibration(t *testing.T) {
+	cfg := testConfig()
+	cfg.GateAuto = true
+	ref := synth(0, 2*time.Second, refWeights, 1)
+	learned, err := Learn(cfg, trace.NewSliceReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned.AutoGateThreshold <= 0 {
+		t.Fatalf("AutoGateThreshold = %g, want > 0", learned.AutoGateThreshold)
+	}
+	mon, err := NewMonitor(cfg, learned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.GateThreshold() != learned.AutoGateThreshold {
+		t.Fatalf("monitor threshold %g != calibrated %g", mon.GateThreshold(), learned.AutoGateThreshold)
+	}
+	// A shifted regime must trip the calibrated gate.
+	shifted := synth(0, time.Second, []float64{0, 0, 1, 20}, 10)
+	stats, err := Run(cfg, learned, trace.NewSliceReader(shifted), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GateTrips == 0 {
+		t.Fatal("shifted run never tripped the auto gate")
+	}
+	// Gate economy: at a ceiling quantile, a clean continuation must stay
+	// mostly under the calibrated gate. (The 0.90 default deliberately
+	// trades clean-gate economy for staying engaged inside shifted
+	// regimes, so the economy bound is asserted at q = 0.99.)
+	cfgHi := cfg
+	cfgHi.GateAutoQuantile = 0.99
+	learnedHi, err := Learn(cfgHi, trace.NewSliceReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learnedHi.AutoGateThreshold < learned.AutoGateThreshold {
+		t.Fatalf("q99 threshold %g below q90 threshold %g",
+			learnedHi.AutoGateThreshold, learned.AutoGateThreshold)
+	}
+	clean := synth(0, 2*time.Second, refWeights, 9)
+	stats, err = Run(cfgHi, learnedHi, trace.NewSliceReader(clean), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(stats.GateTrips) / float64(stats.Windows); frac > 0.1 {
+		t.Fatalf("clean run tripped the q99 auto gate on %.0f%% of windows", 100*frac)
+	}
+
+	// A monitor asked for GateAuto against a model learned without it
+	// must refuse rather than silently use the fixed threshold.
+	learnedFixed, err := Learn(testConfig(), trace.NewSliceReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMonitor(cfg, learnedFixed); err == nil {
+		t.Fatal("NewMonitor accepted GateAuto with an uncalibrated model")
+	}
+}
+
+// TestGateAutoQuantileMonotone: a higher calibration quantile cannot give
+// a lower threshold.
+func TestGateAutoQuantileMonotone(t *testing.T) {
+	ref := synth(0, 2*time.Second, refWeights, 1)
+	thr := func(q float64) float64 {
+		cfg := testConfig()
+		cfg.GateAuto = true
+		cfg.GateAutoQuantile = q
+		learned, err := Learn(cfg, trace.NewSliceReader(ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return learned.AutoGateThreshold
+	}
+	lo, hi := thr(0.5), thr(0.99)
+	if math.IsNaN(lo) || lo <= 0 || hi < lo {
+		t.Fatalf("thresholds q50=%g q99=%g, want 0 < q50 <= q99", lo, hi)
+	}
+}

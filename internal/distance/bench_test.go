@@ -34,6 +34,62 @@ func benchmarkKernel(b *testing.B, name string) {
 	}
 }
 
+// benchmarkRows measures one query against a 1000-row flat matrix —
+// the LOF brute pass — through the exact row kernel and, for the KL
+// family, the precomputed-log fast kernel.
+func benchmarkRows(b *testing.B, name string, fast bool) {
+	const dim, n = 26, 1000
+	rng := rand.New(rand.NewSource(1))
+	flat := make([]float64, n*dim)
+	for i := range flat {
+		flat[i] = rng.Float64() + 1e-3
+	}
+	for r := 0; r < n; r++ {
+		row := flat[r*dim : (r+1)*dim]
+		var sum float64
+		for _, x := range row {
+			sum += x
+		}
+		for i := range row {
+			row[i] /= sum
+		}
+	}
+	q := make([]float64, dim)
+	copy(q, flat[:dim])
+	out := make([]float64, n)
+	d := Must(name)
+	if fast {
+		if !FastRowsFor(name) {
+			b.Fatalf("no fast kernel for %s", name)
+		}
+		table := NewLogRows(flat, dim)
+		qlogs := make([]float64, dim)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			QueryLogs(q, qlogs)
+			if name == "symkl" {
+				table.SymKLRows(q, qlogs, out)
+			} else {
+				table.KLRows(q, qlogs, out)
+			}
+			benchSink += out[0]
+		}
+		return
+	}
+	kernel := RowsOf(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel(q, flat, dim, out)
+		benchSink += out[0]
+	}
+}
+
+func BenchmarkRowsSymKL1000(b *testing.B)     { benchmarkRows(b, "symkl", false) }
+func BenchmarkRowsSymKLFast1000(b *testing.B) { benchmarkRows(b, "symkl", true) }
+func BenchmarkRowsKLFast1000(b *testing.B)    { benchmarkRows(b, "kl", true) }
+func BenchmarkRowsL21000(b *testing.B)        { benchmarkRows(b, "l2", false) }
+func BenchmarkRowsJSD1000(b *testing.B)       { benchmarkRows(b, "jsd", false) }
+
 func BenchmarkKernelKL(b *testing.B)        { benchmarkKernel(b, "kl") }
 func BenchmarkKernelSymKL(b *testing.B)     { benchmarkKernel(b, "symkl") }
 func BenchmarkKernelJSD(b *testing.B)       { benchmarkKernel(b, "jsd") }

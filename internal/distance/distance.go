@@ -23,6 +23,11 @@ type Distance struct {
 	Name   string
 	F      Func
 	Metric bool // satisfies the triangle inequality (enables VP-tree)
+	// Rows, when non-nil, is the exact one-query-vs-many-rows form of F
+	// over a flat row-major matrix: bit-for-bit equal to calling F per
+	// row, but cache-friendly and free of per-pair call overhead. Use
+	// RowsOf, which falls back to a generic loop when Rows is nil.
+	Rows RowsFunc
 }
 
 // eps guards logarithms and divisions against zero components when callers
@@ -143,14 +148,14 @@ func assertSameLen(p, q []float64) {
 
 // Catalog of named distances, used by command-line flags and ablations.
 var catalog = map[string]Distance{
-	"kl":        {Name: "kl", F: KL, Metric: false},
-	"symkl":     {Name: "symkl", F: SymmetricKL, Metric: false},
-	"jsd":       {Name: "jsd", F: JensenShannon, Metric: false},
-	"jsdist":    {Name: "jsdist", F: JensenShannonDist, Metric: true},
-	"hellinger": {Name: "hellinger", F: Hellinger, Metric: true},
-	"l1":        {Name: "l1", F: L1, Metric: true},
-	"l2":        {Name: "l2", F: L2, Metric: true},
-	"chi2":      {Name: "chi2", F: ChiSquare, Metric: false},
+	"kl":        {Name: "kl", F: KL, Metric: false, Rows: KLRows},
+	"symkl":     {Name: "symkl", F: SymmetricKL, Metric: false, Rows: SymmetricKLRows},
+	"jsd":       {Name: "jsd", F: JensenShannon, Metric: false, Rows: JensenShannonRows},
+	"jsdist":    {Name: "jsdist", F: JensenShannonDist, Metric: true, Rows: JensenShannonDistRows},
+	"hellinger": {Name: "hellinger", F: Hellinger, Metric: true, Rows: HellingerRows},
+	"l1":        {Name: "l1", F: L1, Metric: true, Rows: L1Rows},
+	"l2":        {Name: "l2", F: L2, Metric: true, Rows: L2Rows},
+	"chi2":      {Name: "chi2", F: ChiSquare, Metric: false, Rows: ChiSquareRows},
 }
 
 // ByName looks a distance up by its catalogue name.

@@ -1,0 +1,331 @@
+package distance
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the row-kernel forms of the catalogue distances: scoring
+// one query vector against every row of a flat row-major reference matrix
+// in a single pass. The LOF hot path is "one query vs n reference points";
+// doing it through a flat matrix keeps the reference data contiguous in
+// cache and removes the per-pair closure call of the scalar Func.
+//
+// Two tiers exist:
+//
+//   - RowsOf returns an exact kernel: bit-for-bit identical to calling the
+//     scalar Func row by row (same operations in the same order), so the
+//     monitor's default path produces byte-identical reports before and
+//     after the flat-matrix refactor.
+//   - LogRows precomputes per-row logarithms for the KL family (kl,
+//     symkl), removing every math.Log call from the per-row inner loop.
+//     It is approximate in the last ulps (log(p/q) != log p - log q in
+//     floating point), so it is reserved for the condensed reference sets,
+//     which are approximate by construction.
+
+// RowsFunc computes the distance from q to each row of the flat row-major
+// matrix rows (len(rows) must be a multiple of dim) and writes the i-th
+// distance into out[i]. out must have length len(rows)/dim.
+type RowsFunc func(q, rows []float64, dim int, out []float64)
+
+// RowsOf returns the exact row kernel of d: bit-for-bit equal to invoking
+// d.F on every row. Specialised kernels exist for every catalogue entry;
+// an unknown Func falls back to a generic per-row loop over d.F.
+func RowsOf(d Distance) RowsFunc {
+	if d.Rows != nil {
+		return d.Rows
+	}
+	return func(q, rows []float64, dim int, out []float64) {
+		genericRows(d.F, q, rows, dim, out)
+	}
+}
+
+func genericRows(f Func, q, rows []float64, dim int, out []float64) {
+	checkRows(q, rows, dim, out)
+	for i := range out {
+		out[i] = f(q, rows[i*dim:(i+1)*dim])
+	}
+}
+
+func checkRows(q, rows []float64, dim int, out []float64) {
+	if len(q) != dim {
+		panic(fmt.Sprintf("distance: query dimension %d != row dimension %d", len(q), dim))
+	}
+	if dim <= 0 || len(rows)%dim != 0 {
+		panic(fmt.Sprintf("distance: matrix length %d not a multiple of dim %d", len(rows), dim))
+	}
+	if len(out) != len(rows)/dim {
+		panic(fmt.Sprintf("distance: out length %d != row count %d", len(out), len(rows)/dim))
+	}
+}
+
+// The specialised exact kernels below repeat the scalar kernels' arithmetic
+// verbatim (same expressions, same order, same eps handling) inside a flat
+// row loop. Any change to a scalar kernel in distance.go must be mirrored
+// here or the bit-exactness tests in rows_test.go will fail.
+
+// KLRows is the exact row form of KL: out[i] = KL(q, row_i).
+func KLRows(q, rows []float64, dim int, out []float64) {
+	checkRows(q, rows, dim, out)
+	for i := range out {
+		row := rows[i*dim : (i+1)*dim]
+		var d float64
+		for j, pj := range q {
+			if pj <= 0 {
+				continue
+			}
+			qj := row[j]
+			if qj < eps {
+				qj = eps
+			}
+			d += pj * math.Log(pj/qj)
+		}
+		if d < 0 {
+			d = 0
+		}
+		out[i] = d
+	}
+}
+
+// SymmetricKLRows is the exact row form of SymmetricKL:
+// out[i] = KL(q, row_i) + KL(row_i, q).
+func SymmetricKLRows(q, rows []float64, dim int, out []float64) {
+	checkRows(q, rows, dim, out)
+	for i := range out {
+		row := rows[i*dim : (i+1)*dim]
+		var fwd float64
+		for j, pj := range q {
+			if pj <= 0 {
+				continue
+			}
+			qj := row[j]
+			if qj < eps {
+				qj = eps
+			}
+			fwd += pj * math.Log(pj/qj)
+		}
+		if fwd < 0 {
+			fwd = 0
+		}
+		var rev float64
+		for j, pj := range row {
+			if pj <= 0 {
+				continue
+			}
+			qj := q[j]
+			if qj < eps {
+				qj = eps
+			}
+			rev += pj * math.Log(pj/qj)
+		}
+		if rev < 0 {
+			rev = 0
+		}
+		out[i] = fwd + rev
+	}
+}
+
+// JensenShannonRows is the exact row form of JensenShannon.
+func JensenShannonRows(q, rows []float64, dim int, out []float64) {
+	checkRows(q, rows, dim, out)
+	for i := range out {
+		row := rows[i*dim : (i+1)*dim]
+		var d float64
+		for j, pj := range q {
+			qj := row[j]
+			mj := 0.5 * (pj + qj)
+			if pj > 0 && mj > 0 {
+				d += 0.5 * pj * math.Log(pj/mj)
+			}
+			if qj > 0 && mj > 0 {
+				d += 0.5 * qj * math.Log(qj/mj)
+			}
+		}
+		if d < 0 {
+			d = 0
+		}
+		out[i] = d
+	}
+}
+
+// JensenShannonDistRows is the exact row form of JensenShannonDist.
+func JensenShannonDistRows(q, rows []float64, dim int, out []float64) {
+	JensenShannonRows(q, rows, dim, out)
+	for i := range out {
+		out[i] = math.Sqrt(out[i])
+	}
+}
+
+// HellingerRows is the exact row form of Hellinger.
+func HellingerRows(q, rows []float64, dim int, out []float64) {
+	checkRows(q, rows, dim, out)
+	for i := range out {
+		row := rows[i*dim : (i+1)*dim]
+		var s float64
+		for j, pj := range q {
+			d := math.Sqrt(pj) - math.Sqrt(row[j])
+			s += d * d
+		}
+		out[i] = math.Sqrt(0.5 * s)
+	}
+}
+
+// L1Rows is the exact row form of L1.
+func L1Rows(q, rows []float64, dim int, out []float64) {
+	checkRows(q, rows, dim, out)
+	for i := range out {
+		row := rows[i*dim : (i+1)*dim]
+		var s float64
+		for j, pj := range q {
+			s += math.Abs(pj - row[j])
+		}
+		out[i] = s
+	}
+}
+
+// L2Rows is the exact row form of L2.
+func L2Rows(q, rows []float64, dim int, out []float64) {
+	checkRows(q, rows, dim, out)
+	for i := range out {
+		row := rows[i*dim : (i+1)*dim]
+		var s float64
+		for j, pj := range q {
+			d := pj - row[j]
+			s += d * d
+		}
+		out[i] = math.Sqrt(s)
+	}
+}
+
+// ChiSquareRows is the exact row form of ChiSquare.
+func ChiSquareRows(q, rows []float64, dim int, out []float64) {
+	checkRows(q, rows, dim, out)
+	for i := range out {
+		row := rows[i*dim : (i+1)*dim]
+		var s float64
+		for j, pj := range q {
+			qj := row[j]
+			sum := pj + qj
+			if sum <= 0 {
+				continue
+			}
+			d := pj - qj
+			s += d * d / sum
+		}
+		out[i] = s
+	}
+}
+
+// LogRows precomputes per-element floored logarithms of a reference
+// matrix, enabling KL-family row kernels with no math.Log call in the
+// per-row inner loop. With L[i] = log(max(x_i, eps)):
+//
+//	KL(q ‖ r)     ≈ Σ_{q_i>0} q_i (Lq_i − Lr_i)
+//	symKL(q, r)   ≈ KL(q ‖ r) + KL(r ‖ q)
+//
+// The results differ from the scalar kernels in the last ulps (and for
+// components in (0, eps), which smoothed pmfs never produce), so LogRows
+// backs only the condensed — already approximate — scoring path; the
+// uncondensed path uses the exact kernels above.
+type LogRows struct {
+	dim  int
+	rows []float64 // the reference matrix, retained
+	logs []float64 // log(max(rows[i], eps)), elementwise
+}
+
+// NewLogRows builds the log table over a flat row-major matrix. The matrix
+// is retained, not copied; it must not be mutated afterwards.
+func NewLogRows(rows []float64, dim int) *LogRows {
+	if dim <= 0 || len(rows)%dim != 0 {
+		panic(fmt.Sprintf("distance: matrix length %d not a multiple of dim %d", len(rows), dim))
+	}
+	logs := make([]float64, len(rows))
+	for i, x := range rows {
+		if x < eps {
+			x = eps
+		}
+		logs[i] = math.Log(x)
+	}
+	return &LogRows{dim: dim, rows: rows, logs: logs}
+}
+
+// Len returns the number of rows in the table.
+func (t *LogRows) Len() int { return len(t.rows) / t.dim }
+
+// Dim returns the row dimensionality.
+func (t *LogRows) Dim() int { return t.dim }
+
+// QueryLogs fills qlogs[i] = log(max(q[i], eps)) — the per-query half of
+// the precomputation, done once per query instead of once per row.
+func QueryLogs(q, qlogs []float64) {
+	if len(q) != len(qlogs) {
+		panic(fmt.Sprintf("distance: query length %d != log buffer %d", len(q), len(qlogs)))
+	}
+	for i, x := range q {
+		if x < eps {
+			x = eps
+		}
+		qlogs[i] = math.Log(x)
+	}
+}
+
+// KLRows writes out[i] ≈ KL(q ‖ row_i) using the precomputed logs. qlogs
+// must come from QueryLogs(q, ...).
+func (t *LogRows) KLRows(q, qlogs, out []float64) {
+	checkRows(q, t.rows, t.dim, out)
+	dim := t.dim
+	for i := range out {
+		base := i * dim
+		logs := t.logs[base : base+dim]
+		var d float64
+		for j, pj := range q {
+			if pj <= 0 {
+				continue
+			}
+			d += pj * (qlogs[j] - logs[j])
+		}
+		if d < 0 {
+			d = 0
+		}
+		out[i] = d
+	}
+}
+
+// SymKLRows writes out[i] ≈ symKL(q, row_i) using the precomputed logs;
+// both KL directions are clamped at zero separately, matching the scalar
+// kernel's convention. qlogs must come from QueryLogs(q, ...).
+func (t *LogRows) SymKLRows(q, qlogs, out []float64) {
+	checkRows(q, t.rows, t.dim, out)
+	dim := t.dim
+	for i := range out {
+		base := i * dim
+		row := t.rows[base : base+dim]
+		logs := t.logs[base : base+dim]
+		var fwd, rev float64
+		for j, pj := range q {
+			rj := row[j]
+			diff := qlogs[j] - logs[j]
+			if pj > 0 {
+				fwd += pj * diff
+			}
+			if rj > 0 {
+				rev -= rj * diff
+			}
+		}
+		if fwd < 0 {
+			fwd = 0
+		}
+		if rev < 0 {
+			rev = 0
+		}
+		out[i] = fwd + rev
+	}
+}
+
+// FastRowsFor reports whether the KL-family fast path applies to d and, if
+// so, which LogRows method drives it: "kl" and "symkl" benefit from
+// precomputed logs; every other catalogue distance either has no log in
+// its inner loop or (jsd) mixes query and row inside the logarithm.
+func FastRowsFor(name string) bool {
+	return name == "kl" || name == "symkl"
+}

@@ -1,0 +1,132 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randRows draws n random pmf-shaped rows of the given dimension into a
+// flat matrix; zeroFrac components are hard zeros to exercise the kernels'
+// zero/eps handling.
+func randRows(rng *rand.Rand, n, dim int, zeroFrac float64) []float64 {
+	flat := make([]float64, n*dim)
+	for r := 0; r < n; r++ {
+		row := flat[r*dim : (r+1)*dim]
+		var sum float64
+		for i := range row {
+			if rng.Float64() < zeroFrac {
+				continue
+			}
+			row[i] = rng.Float64() + 1e-4
+			sum += row[i]
+		}
+		if sum > 0 {
+			for i := range row {
+				row[i] /= sum
+			}
+		}
+	}
+	return flat
+}
+
+// TestRowKernelsBitExact checks the contract the flat LOF refactor leans
+// on: every catalogue row kernel produces bit-for-bit the same values as
+// calling the scalar Func row by row, including rows and queries with
+// hard-zero components.
+func TestRowKernelsBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, dim = 64, 26
+	for _, zeroFrac := range []float64{0, 0.3} {
+		rows := randRows(rng, n, dim, zeroFrac)
+		queries := randRows(rng, 8, dim, zeroFrac)
+		for _, name := range Names() {
+			d := Must(name)
+			kernel := RowsOf(d)
+			out := make([]float64, n)
+			for qi := 0; qi < 8; qi++ {
+				q := queries[qi*dim : (qi+1)*dim]
+				kernel(q, rows, dim, out)
+				for r := 0; r < n; r++ {
+					want := d.F(q, rows[r*dim:(r+1)*dim])
+					if out[r] != want { // bit-exact, no tolerance
+						t.Fatalf("%s (zeroFrac %g): row %d: kernel %v != scalar %v",
+							name, zeroFrac, r, out[r], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRowsOfGenericFallback checks that a Distance without a specialised
+// kernel still gets a correct row form.
+func TestRowsOfGenericFallback(t *testing.T) {
+	d := Distance{Name: "custom-l2", F: L2} // no Rows field
+	rng := rand.New(rand.NewSource(8))
+	rows := randRows(rng, 10, 5, 0)
+	q := randRows(rng, 1, 5, 0)
+	out := make([]float64, 10)
+	RowsOf(d)(q, rows, 5, out)
+	for r := 0; r < 10; r++ {
+		if want := L2(q, rows[r*5:(r+1)*5]); out[r] != want {
+			t.Fatalf("generic fallback row %d: %v != %v", r, out[r], want)
+		}
+	}
+}
+
+// TestLogRowsCloseToScalar checks the fast KL-family path against the
+// scalar kernels: not bit-exact by design, but within tight relative
+// tolerance on smoothed (strictly positive) pmfs.
+func TestLogRowsCloseToScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, dim = 64, 26
+	rows := randRows(rng, n, dim, 0) // strictly positive, like smoothed pmfs
+	table := NewLogRows(rows, dim)
+	if table.Len() != n || table.Dim() != dim {
+		t.Fatalf("table shape %dx%d, want %dx%d", table.Len(), table.Dim(), n, dim)
+	}
+	q := randRows(rng, 1, dim, 0)
+	qlogs := make([]float64, dim)
+	QueryLogs(q, qlogs)
+	out := make([]float64, n)
+
+	table.SymKLRows(q, qlogs, out)
+	for r := 0; r < n; r++ {
+		want := SymmetricKL(q, rows[r*dim:(r+1)*dim])
+		if math.Abs(out[r]-want) > 1e-9*(1+want) {
+			t.Fatalf("fast symkl row %d: %v, scalar %v", r, out[r], want)
+		}
+	}
+	table.KLRows(q, qlogs, out)
+	for r := 0; r < n; r++ {
+		want := KL(q, rows[r*dim:(r+1)*dim])
+		if math.Abs(out[r]-want) > 1e-9*(1+want) {
+			t.Fatalf("fast kl row %d: %v, scalar %v", r, out[r], want)
+		}
+	}
+}
+
+// TestLogRowsNonNegativeOnDuplicates: identical query and row must give a
+// clean zero through the clamping, not a tiny negative.
+func TestLogRowsNonNegativeOnDuplicates(t *testing.T) {
+	row := []float64{0.2, 0.3, 0.5}
+	table := NewLogRows(row, 3)
+	qlogs := make([]float64, 3)
+	QueryLogs(row, qlogs)
+	out := make([]float64, 1)
+	table.SymKLRows(row, qlogs, out)
+	if out[0] != 0 {
+		t.Fatalf("symkl(self) = %v, want 0", out[0])
+	}
+}
+
+func TestFastRowsFor(t *testing.T) {
+	for name, want := range map[string]bool{
+		"kl": true, "symkl": true, "jsd": false, "l2": false, "hellinger": false,
+	} {
+		if got := FastRowsFor(name); got != want {
+			t.Fatalf("FastRowsFor(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

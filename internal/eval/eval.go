@@ -197,13 +197,15 @@ type Report struct {
 	Perturbations         []Perturbation `json:"perturbations"`
 }
 
-// Run executes the experiment.
-func Run(opts Options) (*Report, error) {
+// Learn executes just the learning step: a clean reference run of the
+// same workload, fitted with core.Learn. The returned Learned is
+// immutable; it can back any number of concurrent RunWithLearned calls —
+// sweeps use this to share one model across every cell that only varies
+// monitoring knobs (alpha, factor).
+func Learn(opts Options) (*core.Learned, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-
-	// Learning step: a clean reference run of the same workload.
 	refCfg := opts.Sim
 	refCfg.Duration = opts.RefDuration
 	refCfg.Load = perturb.None{}
@@ -215,6 +217,27 @@ func Run(opts Options) (*Report, error) {
 	learned, err := core.Learn(opts.Core, refSim)
 	if err != nil {
 		return nil, fmt.Errorf("eval: learning reference model: %w", err)
+	}
+	return learned, nil
+}
+
+// Run executes the experiment: Learn, then RunWithLearned.
+func Run(opts Options) (*Report, error) {
+	learned, err := Learn(opts)
+	if err != nil {
+		return nil, err
+	}
+	return RunWithLearned(opts, learned)
+}
+
+// RunWithLearned executes the monitoring step of the experiment against
+// an already-learned model (from Learn with compatible options: same
+// seed, durations, simulator shape, and the learning-relevant core
+// fields — distances, K, smoothing, window). The learned model is only
+// read, never mutated, so concurrent calls may share one instance.
+func RunWithLearned(opts Options, learned *core.Learned) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 
 	// Monitoring step: the same workload under the perturbation schedule.
@@ -296,8 +319,7 @@ func Run(opts Options) (*Report, error) {
 		FullBytes:       runStats.FullBytes,
 		RecordedBytes:   runStats.RecBytes,
 	}
-	if runStats.RecBytes > 0 {
-		rf := runStats.ReductionFactor()
+	if rf, ok := runStats.ReductionFactor(); ok {
 		rep.ReductionFactor = &rf
 	}
 

@@ -27,46 +27,61 @@ func benchPoints(n, dim int, seed int64) [][]float64 {
 	return pts
 }
 
-// benchmarkScore measures Model.Score — the monitoring hot path, run on
-// every gate trip — for one index/distance combination.
-func benchmarkScore(b *testing.B, n int, d distance.Distance, useVPTree bool) {
+// benchmarkScore measures Scorer.Score — the monitoring hot path, run on
+// every gate trip — for one index/distance/condensation combination. The
+// before/after comparison for the flat-matrix refactor is the uncondensed
+// Brute* numbers vs the Condensed* numbers at the same n.
+func benchmarkScore(b *testing.B, n int, d distance.Distance, opts FitOptions) {
 	const dim = 26 // mediasim pmf (25 event types) + rate feature
 	pts := benchPoints(n, dim, 1)
-	m, err := Fit(pts, 20, d, FitOptions{UseVPTree: useVPTree, Seed: 1})
+	m, err := Fit(pts, 20, d, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
 	queries := benchPoints(64, dim, 2)
+	sc := m.NewScorer()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sink float64
 	for i := 0; i < b.N; i++ {
-		sink += m.Score(queries[i%len(queries)])
+		sink += sc.Score(queries[i%len(queries)])
 	}
 	_ = sink
 }
 
 func BenchmarkScoreBruteSymKL1000(b *testing.B) {
-	benchmarkScore(b, 1000, distance.Must("symkl"), false)
+	benchmarkScore(b, 1000, distance.Must("symkl"), FitOptions{})
 }
 
 func BenchmarkScoreBruteSymKL3000(b *testing.B) {
-	benchmarkScore(b, 3000, distance.Must("symkl"), false)
+	benchmarkScore(b, 3000, distance.Must("symkl"), FitOptions{})
+}
+
+// BenchmarkScoreCondensedSymKL1000 is the headline hot-path number: the
+// same 1000-point reference set condensed to 200 rows, scored through the
+// flat fast-KL kernels. Compare against BenchmarkScoreBruteSymKL1000.
+func BenchmarkScoreCondensedSymKL1000(b *testing.B) {
+	benchmarkScore(b, 1000, distance.Must("symkl"), FitOptions{CondenseTarget: 200, Seed: 1})
+}
+
+func BenchmarkScoreCondensedSymKL3000(b *testing.B) {
+	benchmarkScore(b, 3000, distance.Must("symkl"), FitOptions{CondenseTarget: 200, Seed: 1})
 }
 
 func BenchmarkScoreBruteL21000(b *testing.B) {
-	benchmarkScore(b, 1000, distance.Must("l2"), false)
+	benchmarkScore(b, 1000, distance.Must("l2"), FitOptions{})
 }
 
 func BenchmarkScoreVPTreeL21000(b *testing.B) {
-	benchmarkScore(b, 1000, distance.Must("l2"), true)
+	benchmarkScore(b, 1000, distance.Must("l2"), FitOptions{UseVPTree: true, Seed: 1})
 }
 
 func BenchmarkScoreBruteHellinger1000(b *testing.B) {
-	benchmarkScore(b, 1000, distance.Must("hellinger"), false)
+	benchmarkScore(b, 1000, distance.Must("hellinger"), FitOptions{})
 }
 
 func BenchmarkScoreVPTreeHellinger1000(b *testing.B) {
-	benchmarkScore(b, 1000, distance.Must("hellinger"), true)
+	benchmarkScore(b, 1000, distance.Must("hellinger"), FitOptions{UseVPTree: true, Seed: 1})
 }
 
 // BenchmarkFitBruteSymKL1000 measures the learning step (pairwise kNN at
@@ -77,6 +92,20 @@ func BenchmarkFitBruteSymKL1000(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Fit(pts, 20, d, FitOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitCondensedSymKL1000 measures fit with condensation: the FPS
+// pass costs O(target·n) row-kernel distances, but the kNN stage then
+// runs on target rows with the fast kernels.
+func BenchmarkFitCondensedSymKL1000(b *testing.B) {
+	pts := benchPoints(1000, 26, 1)
+	d := distance.Must("symkl")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(pts, 20, d, FitOptions{CondenseTarget: 200, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,103 @@
+package lof
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"enduratrace/internal/distance"
+	"enduratrace/internal/stats"
+)
+
+// Reference-set condensation: the LOF hot path costs one distance
+// evaluation per reference row per gate trip, so a 1000-row reference set
+// makes symkl scoring ~1000 kernel calls. Farthest-point sampling keeps a
+// target-sized subset that covers the reference distribution's support
+// (each greedy step adds the point farthest from everything kept so far),
+// after which k-distance and lrd are recomputed on the condensed set. The
+// score is approximate — CondenseReport carries the train-score quantiles
+// of the full original set under the condensed model so the accuracy loss
+// stays visible next to an uncondensed learn's quantiles.
+
+// CondenseReport describes a fit-time condensation and its accuracy cost.
+type CondenseReport struct {
+	// OriginalN and KeptN are the reference-set sizes before and after
+	// farthest-point sampling.
+	OriginalN int `json:"original_n"`
+	KeptN     int `json:"kept_n"`
+	// P50/P90/P95/P99 are quantiles of the LOF of every original
+	// reference point under the condensed model (kept points use their
+	// train score, dropped points are scored as queries). Compare against
+	// the train quantiles of an uncondensed learn: inflation here is the
+	// accuracy price of condensation.
+	P50 float64 `json:"train_p50"`
+	P90 float64 `json:"train_p90"`
+	P95 float64 `json:"train_p95"`
+	P99 float64 `json:"train_p99"`
+}
+
+// farthestPointIndices greedily selects target row indices from the flat
+// n×dim matrix by farthest-point sampling under d: the seed-chosen start
+// row, then repeatedly the row whose minimum distance to the selected set
+// is largest (ties break on the lower index). The result is sorted
+// ascending, so the condensed matrix preserves the original row order.
+func farthestPointIndices(flat []float64, n, dim, target int, d distance.Distance, seed int64) []int {
+	rows := distance.RowsOf(d)
+	minDist := make([]float64, n)
+	selected := make([]int, 0, target)
+
+	rng := rand.New(rand.NewSource(seed))
+	start := rng.Intn(n)
+	selected = append(selected, start)
+	rows(flat[start*dim:(start+1)*dim], flat, dim, minDist)
+
+	scratch := make([]float64, n)
+	for len(selected) < target {
+		best, bestDist := -1, math.Inf(-1)
+		for i, md := range minDist {
+			if md > bestDist {
+				best, bestDist = i, md
+			}
+		}
+		if bestDist <= 0 {
+			// Every remaining row duplicates a kept one; more rows add
+			// nothing to the condensed support.
+			break
+		}
+		selected = append(selected, best)
+		rows(flat[best*dim:(best+1)*dim], flat, dim, scratch)
+		for i, sd := range scratch {
+			if sd < minDist[i] {
+				minDist[i] = sd
+			}
+		}
+	}
+
+	// Ascending original order keeps the condensed matrix deterministic
+	// and stable with respect to the input layout.
+	sort.Ints(selected)
+	return selected
+}
+
+// fillQuantiles scores every original reference point under the condensed
+// model m and records the quantiles. keep maps condensed row i to its
+// original row keep[i].
+func (c *CondenseReport) fillQuantiles(m *Model, origFlat []float64, origN int, keep []int) {
+	condIdx := make(map[int]int, len(keep))
+	for ci, oi := range keep {
+		condIdx[oi] = ci
+	}
+	scores := make([]float64, origN)
+	sc := m.NewScorer()
+	for i := 0; i < origN; i++ {
+		if ci, kept := condIdx[i]; kept {
+			scores[i] = m.train[ci]
+		} else {
+			scores[i] = sc.Score(origFlat[i*m.dim : (i+1)*m.dim])
+		}
+	}
+	c.P50 = stats.Quantile(scores, 0.50)
+	c.P90 = stats.Quantile(scores, 0.90)
+	c.P95 = stats.Quantile(scores, 0.95)
+	c.P99 = stats.Quantile(scores, 0.99)
+}

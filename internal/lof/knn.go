@@ -15,13 +15,60 @@ type Neighbor struct {
 	Dist float64 // distance from the query to the neighbour
 }
 
-// Index answers k-nearest-neighbour queries over a fixed point set.
+// Scratch holds the reusable buffers of one k-NN/scoring goroutine: the
+// row-kernel distance output, the bounded selection heap, the sorted
+// neighbour result, and the query-log buffer of the fast KL path. Buffers
+// grow on first use and are reused afterwards, so steady-state queries
+// allocate nothing. A Scratch must not be shared between goroutines.
+type Scratch struct {
+	dists []float64
+	heap  neighborHeap
+	out   []Neighbor
+	qlogs []float64
+}
+
+func (s *Scratch) floats(n int) []float64 {
+	if cap(s.dists) < n {
+		s.dists = make([]float64, n)
+	}
+	s.dists = s.dists[:n]
+	return s.dists
+}
+
+func (s *Scratch) logBuf(n int) []float64 {
+	if cap(s.qlogs) < n {
+		s.qlogs = make([]float64, n)
+	}
+	s.qlogs = s.qlogs[:n]
+	return s.qlogs
+}
+
+func (s *Scratch) resetHeap(k int) *neighborHeap {
+	if cap(s.heap.items) < k {
+		s.heap.items = make([]Neighbor, 0, k)
+	}
+	s.heap.items = s.heap.items[:0]
+	s.heap.cap = k
+	return &s.heap
+}
+
+func (s *Scratch) neighborBuf(n int) []Neighbor {
+	if cap(s.out) < n {
+		s.out = make([]Neighbor, n)
+	}
+	s.out = s.out[:n]
+	return s.out
+}
+
+// Index answers k-nearest-neighbour queries over a fixed point set stored
+// as a flat row-major matrix.
 //
 // KNN returns the k nearest points to q in ascending distance order (fewer
 // if the set is smaller than k). When skip >= 0, the point with that index
 // is excluded — used when querying a training point against its own set.
+// The result is backed by s and only valid until s's next query.
 type Index interface {
-	KNN(q []float64, k, skip int) []Neighbor
+	KNN(q []float64, k, skip int, s *Scratch) []Neighbor
 	Len() int
 }
 
@@ -30,10 +77,6 @@ type Index interface {
 type neighborHeap struct {
 	items []Neighbor
 	cap   int
-}
-
-func newNeighborHeap(k int) *neighborHeap {
-	return &neighborHeap{items: make([]Neighbor, 0, k), cap: k}
 }
 
 func (h *neighborHeap) worst() float64 {
@@ -86,46 +129,92 @@ func (h *neighborHeap) down(i int) {
 	}
 }
 
-func (h *neighborHeap) sorted() []Neighbor {
-	out := make([]Neighbor, len(h.items))
-	copy(out, h.items)
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
-	return out
+// drainSorted empties the heap into dst in ascending distance order using
+// in-place heapsort on the max-heap (no allocation). The heap is left
+// empty; dst must have length len(h.items).
+func (h *neighborHeap) drainSorted(dst []Neighbor) []Neighbor {
+	items := h.items
+	for n := len(items); n > 1; n-- {
+		items[0], items[n-1] = items[n-1], items[0]
+		h.items = items[:n-1]
+		h.down(0)
+	}
+	h.items = items
+	copy(dst, items)
+	h.items = items[:0]
+	return dst
 }
 
-// BruteIndex answers k-NN queries by linear scan. It accepts any
+// BruteIndex answers k-NN queries by a single row-kernel pass over the
+// flat reference matrix followed by bounded-heap selection. It accepts any
 // dissimilarity (including the non-metric KL family), which makes it the
 // default index for pmf points.
 type BruteIndex struct {
-	points [][]float64
-	dist   distance.Func
+	flat []float64
+	dim  int
+	n    int
+	rows distance.RowsFunc
+	logs *distance.LogRows // non-nil switches to the fast KL-family path
+	name string
 }
 
-// NewBruteIndex builds a brute-force index over points. The slice is
-// retained, not copied.
-func NewBruteIndex(points [][]float64, dist distance.Func) *BruteIndex {
-	return &BruteIndex{points: points, dist: dist}
+// NewBruteIndex builds a brute-force index over the flat row-major matrix
+// (n = len(flat)/dim rows). The slice is retained, not copied.
+func NewBruteIndex(flat []float64, dim int, d distance.Distance) *BruteIndex {
+	if dim <= 0 || len(flat)%dim != 0 {
+		panic(fmt.Sprintf("lof: matrix length %d not a multiple of dim %d", len(flat), dim))
+	}
+	return &BruteIndex{
+		flat: flat,
+		dim:  dim,
+		n:    len(flat) / dim,
+		rows: distance.RowsOf(d),
+		name: d.Name,
+	}
+}
+
+// EnableFastKernels precomputes the per-row log table and switches the
+// index to the fast (approximate, see distance.LogRows) KL-family row
+// kernels. It is a no-op for distances outside the KL family.
+func (b *BruteIndex) EnableFastKernels() {
+	if distance.FastRowsFor(b.name) {
+		b.logs = distance.NewLogRows(b.flat, b.dim)
+	}
 }
 
 // Len implements Index.
-func (b *BruteIndex) Len() int { return len(b.points) }
+func (b *BruteIndex) Len() int { return b.n }
 
 // KNN implements Index.
-func (b *BruteIndex) KNN(q []float64, k, skip int) []Neighbor {
+func (b *BruteIndex) KNN(q []float64, k, skip int, s *Scratch) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
-	h := newNeighborHeap(k)
-	for i, p := range b.points {
+	dists := s.floats(b.n)
+	if b.logs != nil {
+		qlogs := s.logBuf(b.dim)
+		distance.QueryLogs(q, qlogs)
+		switch b.name {
+		case "symkl":
+			b.logs.SymKLRows(q, qlogs, dists)
+		case "kl":
+			b.logs.KLRows(q, qlogs, dists)
+		default:
+			panic(fmt.Sprintf("lof: fast kernels enabled for unsupported distance %q", b.name))
+		}
+	} else {
+		b.rows(q, b.flat, b.dim, dists)
+	}
+	h := s.resetHeap(k)
+	for i, d := range dists {
 		if i == skip {
 			continue
 		}
-		d := b.dist(q, p)
 		if d < h.worst() {
 			h.push(Neighbor{Idx: i, Dist: d})
 		}
 	}
-	return h.sorted()
+	return h.drainSorted(s.neighborBuf(len(h.items)))
 }
 
 // VPTree is a vantage-point tree supporting k-NN queries under a metric
@@ -133,33 +222,42 @@ func (b *BruteIndex) KNN(q []float64, k, skip int) []Neighbor {
 // inequality. Using it with a non-metric dissimilarity silently returns
 // wrong neighbours, so NewVPTree refuses non-metric distances.
 type VPTree struct {
-	points [][]float64
-	dist   distance.Func
-	root   *vpNode
+	flat []float64
+	dim  int
+	n    int
+	dist distance.Func
+	root *vpNode
 }
 
 type vpNode struct {
-	idx     int     // vantage point index into points
+	idx     int     // vantage point index into the matrix
 	radius  float64 // median distance from vantage to its subtree points
 	inside  *vpNode // points with d <= radius
 	outside *vpNode
 }
 
-// NewVPTree builds a VP-tree over points. d must be a metric (d.Metric).
-// seed controls vantage-point selection; any fixed value gives a
-// deterministic tree.
-func NewVPTree(points [][]float64, d distance.Distance, seed int64) (*VPTree, error) {
+// NewVPTree builds a VP-tree over the flat row-major matrix. d must be a
+// metric (d.Metric). seed controls vantage-point selection; any fixed
+// value gives a deterministic tree.
+func NewVPTree(flat []float64, dim int, d distance.Distance, seed int64) (*VPTree, error) {
 	if !d.Metric {
 		return nil, fmt.Errorf("lof: VP-tree requires a metric distance, %q is not", d.Name)
 	}
-	t := &VPTree{points: points, dist: d.F}
-	idxs := make([]int, len(points))
+	if dim <= 0 || len(flat)%dim != 0 {
+		return nil, fmt.Errorf("lof: matrix length %d not a multiple of dim %d", len(flat), dim)
+	}
+	t := &VPTree{flat: flat, dim: dim, n: len(flat) / dim, dist: d.F}
+	idxs := make([]int, t.n)
 	for i := range idxs {
 		idxs[i] = i
 	}
 	rng := rand.New(rand.NewSource(seed))
 	t.root = t.build(idxs, rng)
 	return t, nil
+}
+
+func (t *VPTree) row(i int) []float64 {
+	return t.flat[i*t.dim : (i+1)*t.dim]
 }
 
 func (t *VPTree) build(idxs []int, rng *rand.Rand) *vpNode {
@@ -174,10 +272,10 @@ func (t *VPTree) build(idxs []int, rng *rand.Rand) *vpNode {
 	if len(rest) == 0 {
 		return node
 	}
-	vp := t.points[node.idx]
+	vp := t.row(node.idx)
 	dists := make([]float64, len(rest))
 	for i, id := range rest {
-		dists[i] = t.dist(vp, t.points[id])
+		dists[i] = t.dist(vp, t.row(id))
 	}
 	// Partition around the median distance.
 	order := make([]int, len(rest))
@@ -209,23 +307,23 @@ func (t *VPTree) build(idxs []int, rng *rand.Rand) *vpNode {
 }
 
 // Len implements Index.
-func (t *VPTree) Len() int { return len(t.points) }
+func (t *VPTree) Len() int { return t.n }
 
 // KNN implements Index.
-func (t *VPTree) KNN(q []float64, k, skip int) []Neighbor {
+func (t *VPTree) KNN(q []float64, k, skip int, s *Scratch) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
-	h := newNeighborHeap(k)
+	h := s.resetHeap(k)
 	t.search(t.root, q, skip, h)
-	return h.sorted()
+	return h.drainSorted(s.neighborBuf(len(h.items)))
 }
 
 func (t *VPTree) search(n *vpNode, q []float64, skip int, h *neighborHeap) {
 	if n == nil {
 		return
 	}
-	d := t.dist(q, t.points[n.idx])
+	d := t.dist(q, t.row(n.idx))
 	if n.idx != skip && d < h.worst() {
 		h.push(Neighbor{Idx: n.idx, Dist: d})
 	}

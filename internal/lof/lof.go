@@ -6,6 +6,13 @@
 // step). Scoring a new point compares the density around it with the
 // density around its K nearest reference points: LOF ≈ 1 means the point
 // sits inside a cluster of regular behaviour, LOF ≥ α > 1 flags an outlier.
+//
+// The fitted model is immutable: the reference points live in one flat
+// row-major matrix, and every per-point quantity (k-distance, local
+// reachability density, training score) is precomputed at fit time. One
+// Model can therefore back any number of concurrent streams; each stream
+// scores through its own Scorer, a cheap handle carrying the reusable
+// scratch that makes steady-state scoring allocation-free.
 package lof
 
 import (
@@ -17,19 +24,26 @@ import (
 )
 
 // Model is a fitted LOF reference model. It retains the reference points
-// and the per-point quantities (k-distance, local reachability density)
-// needed to score unseen points in O(k·n) with the brute index or
-// O(k·log n) expected with a VP-tree.
+// as a flat row-major matrix and the per-point quantities (k-distance,
+// local reachability density, train score) needed to score unseen points
+// in O(k·n) with the brute index or O(k·log n) expected with a VP-tree.
+// A fitted Model is immutable and safe to share across goroutines.
 type Model struct {
-	K      int
-	Points [][]float64
-	Dist   distance.Distance
+	K    int
+	Dist distance.Distance
+
+	// Cond describes the fit-time reference-set condensation, nil when
+	// condensation was disabled or was a no-op.
+	Cond *CondenseReport
+
+	n, dim int
+	flat   []float64 // n×dim row-major reference matrix
 
 	index Index
 	// Per reference point, computed at fit time:
-	kdist []float64    // distance to the K-th nearest reference neighbour
-	nbrs  [][]Neighbor // the K nearest reference neighbours
-	lrd   []float64    // local reachability density
+	kdist []float64 // distance to the K-th nearest reference neighbour
+	lrd   []float64 // local reachability density
+	train []float64 // LOF of the point within the reference set
 }
 
 // ErrTooFewPoints is returned when the reference set cannot support K
@@ -41,13 +55,24 @@ type FitOptions struct {
 	// UseVPTree selects the VP-tree k-NN index; requires a metric distance.
 	// The default brute-force index works with any dissimilarity.
 	UseVPTree bool
-	// Seed controls VP-tree vantage selection (ignored for brute force).
+	// Seed controls VP-tree vantage selection and condensation's starting
+	// point (ignored when neither applies).
 	Seed int64
+	// CondenseTarget, when positive, condenses the reference set down to
+	// at most that many rows by farthest-point sampling before fitting,
+	// recomputing k-distance and lrd on the condensed set; it must exceed
+	// K. Condensation also enables the fast (approximate) KL-family row
+	// kernels on the brute index — the condensed model is approximate by
+	// construction, and Model.Cond reports the train-score quantiles of
+	// the full original set so the accuracy loss is visible. Zero keeps
+	// every point and the bit-exact kernels.
+	CondenseTarget int
 }
 
 // Fit builds a LOF model over the reference points with neighbourhood size
-// k. points must contain at least k+1 vectors of equal dimension. The point
-// slice is retained.
+// k. points must contain at least k+1 vectors of equal dimension. The
+// point data is copied into the model's flat matrix; the input slice is
+// not retained.
 func Fit(points [][]float64, k int, d distance.Distance, opts FitOptions) (*Model, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("lof: K must be positive, got %d", k)
@@ -61,29 +86,68 @@ func Fit(points [][]float64, k int, d distance.Distance, opts FitOptions) (*Mode
 			return nil, fmt.Errorf("lof: point %d has dimension %d, want %d", i, len(p), dim)
 		}
 	}
-	m := &Model{K: k, Points: points, Dist: d}
+	flat := make([]float64, len(points)*dim)
+	for i, p := range points {
+		copy(flat[i*dim:(i+1)*dim], p)
+	}
+
+	var cond *CondenseReport
+	var keep []int
+	origFlat, origN := flat, len(points)
+	if opts.CondenseTarget > 0 {
+		if opts.CondenseTarget <= k {
+			return nil, fmt.Errorf("lof: CondenseTarget %d must exceed K %d", opts.CondenseTarget, k)
+		}
+		if opts.CondenseTarget < origN {
+			keep = farthestPointIndices(flat, origN, dim, opts.CondenseTarget, d, opts.Seed)
+			if len(keep) <= k {
+				return nil, fmt.Errorf("%w: condensation kept %d distinct points, K=%d",
+					ErrTooFewPoints, len(keep), k)
+			}
+			condensed := make([]float64, len(keep)*dim)
+			for i, src := range keep {
+				copy(condensed[i*dim:(i+1)*dim], flat[src*dim:(src+1)*dim])
+			}
+			flat = condensed
+			cond = &CondenseReport{OriginalN: origN, KeptN: len(keep)}
+		}
+	}
+
+	m := &Model{K: k, Dist: d, Cond: cond, n: len(flat) / dim, dim: dim, flat: flat}
 	if opts.UseVPTree {
-		t, err := NewVPTree(points, d, opts.Seed)
+		t, err := NewVPTree(flat, dim, d, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
 		m.index = t
 	} else {
-		m.index = NewBruteIndex(points, d.F)
+		b := NewBruteIndex(flat, dim, d)
+		if opts.CondenseTarget > 0 {
+			b.EnableFastKernels()
+		}
+		m.index = b
 	}
 
-	n := len(points)
+	n := m.n
 	m.kdist = make([]float64, n)
-	m.nbrs = make([][]Neighbor, n)
 	m.lrd = make([]float64, n)
-
-	for i, p := range points {
-		nb := m.index.KNN(p, k, i)
-		m.nbrs[i] = nb
+	m.train = make([]float64, n)
+	nbrs := make([]Neighbor, n*k) // fit-time only; the model keeps kdist/lrd
+	var s Scratch
+	for i := 0; i < n; i++ {
+		nb := m.index.KNN(m.Row(i), k, i, &s)
+		copy(nbrs[i*k:(i+1)*k], nb)
 		m.kdist[i] = nb[len(nb)-1].Dist
 	}
-	for i := range points {
-		m.lrd[i] = m.lrdOf(m.nbrs[i])
+	for i := 0; i < n; i++ {
+		m.lrd[i] = m.lrdOf(nbrs[i*k : (i+1)*k])
+	}
+	for i := 0; i < n; i++ {
+		m.train[i] = m.ratioMean(nbrs[i*k:(i+1)*k], m.lrd[i])
+	}
+
+	if cond != nil {
+		cond.fillQuantiles(m, origFlat, origN, keep)
 	}
 	return m, nil
 }
@@ -106,23 +170,6 @@ func (m *Model) lrdOf(nbrs []Neighbor) float64 {
 		return math.Inf(1)
 	}
 	return float64(len(nbrs)) / sum
-}
-
-// Score returns the LOF of an unseen point q against the reference model.
-// Values near 1 indicate q is embedded in a cluster of regular reference
-// points; values >= alpha > 1 indicate an outlier (§II).
-func (m *Model) Score(q []float64) float64 {
-	nbrs := m.index.KNN(q, m.K, -1)
-	lrdQ := m.lrdOf(nbrs)
-	return m.ratioMean(nbrs, lrdQ)
-}
-
-// ScoreTrain returns the classic LOF of reference point i within the
-// reference set itself (its own point excluded from its neighbourhood).
-// It is used by tests against hand-checked examples and by threshold
-// diagnostics.
-func (m *Model) ScoreTrain(i int) float64 {
-	return m.ratioMean(m.nbrs[i], m.lrd[i])
 }
 
 func (m *Model) ratioMean(nbrs []Neighbor, lrdP float64) float64 {
@@ -153,24 +200,72 @@ func lrdRatio(lrdO, lrdP float64) float64 {
 	}
 }
 
+// Scorer is a per-goroutine scoring handle over a shared immutable Model.
+// It owns the neighbour/distance scratch, so steady-state Score calls
+// allocate nothing. Scorers are cheap; create one per goroutine (a Scorer
+// itself is not safe for concurrent use, the underlying Model is).
+type Scorer struct {
+	m *Model
+	s Scratch
+}
+
+// NewScorer returns a scoring handle over m.
+func (m *Model) NewScorer() *Scorer { return &Scorer{m: m} }
+
+// Score returns the LOF of an unseen point q against the reference model.
+// Values near 1 indicate q is embedded in a cluster of regular reference
+// points; values >= alpha > 1 indicate an outlier (§II).
+func (sc *Scorer) Score(q []float64) float64 {
+	m := sc.m
+	nbrs := m.index.KNN(q, m.K, -1, &sc.s)
+	lrdQ := m.lrdOf(nbrs)
+	return m.ratioMean(nbrs, lrdQ)
+}
+
+// Score is the convenience form of Scorer.Score for one-off queries; it
+// allocates fresh scratch per call. Hot paths should hold a Scorer.
+func (m *Model) Score(q []float64) float64 {
+	sc := Scorer{m: m}
+	return sc.Score(q)
+}
+
+// ScoreTrain returns the classic LOF of reference point i within the
+// reference set itself (its own point excluded from its neighbourhood),
+// precomputed at fit time. It is used by tests against hand-checked
+// examples and by threshold diagnostics.
+func (m *Model) ScoreTrain(i int) float64 { return m.train[i] }
+
 // TrainScores returns the LOF of every reference point within the reference
 // set. Useful to choose alpha: the (1-ε) quantile of training scores is a
 // natural floor for the threshold.
 func (m *Model) TrainScores() []float64 {
-	out := make([]float64, len(m.Points))
-	for i := range m.Points {
-		out[i] = m.ScoreTrain(i)
+	out := make([]float64, m.n)
+	copy(out, m.train)
+	return out
+}
+
+// Row returns reference point i as a subslice of the flat matrix; callers
+// must not mutate it.
+func (m *Model) Row(i int) []float64 {
+	return m.flat[i*m.dim : (i+1)*m.dim]
+}
+
+// Rows returns the flat row-major reference matrix; callers must not
+// mutate it.
+func (m *Model) Rows() []float64 { return m.flat }
+
+// PointRows returns the reference points as a slice of row views into the
+// flat matrix (no data copy); used by model serialisation.
+func (m *Model) PointRows() [][]float64 {
+	out := make([][]float64, m.n)
+	for i := range out {
+		out[i] = m.Row(i)
 	}
 	return out
 }
 
 // Dim returns the dimensionality of the reference points.
-func (m *Model) Dim() int {
-	if len(m.Points) == 0 {
-		return 0
-	}
-	return len(m.Points[0])
-}
+func (m *Model) Dim() int { return m.dim }
 
-// Len returns the number of reference points.
-func (m *Model) Len() int { return len(m.Points) }
+// Len returns the number of reference points (after condensation).
+func (m *Model) Len() int { return m.n }

@@ -73,8 +73,8 @@ func TestVPTreeRequiresMetric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pts := [][]float64{{0.5, 0.5}, {0.4, 0.6}, {0.3, 0.7}}
-	if _, err := NewVPTree(pts, kl, 1); err == nil {
+	flat := []float64{0.5, 0.5, 0.4, 0.6, 0.3, 0.7}
+	if _, err := NewVPTree(flat, 2, kl, 1); err == nil {
 		t.Fatal("VP-tree accepted a non-metric distance")
 	}
 }
@@ -116,9 +116,10 @@ func TestBruteVsVPTreeIdenticalScores(t *testing.T) {
 }
 
 func TestKNNOrderAndSkip(t *testing.T) {
-	pts := [][]float64{{0}, {1}, {2}, {4}, {8}}
-	idx := NewBruteIndex(pts, distance.L2)
-	nb := idx.KNN([]float64{0}, 3, -1)
+	flat := []float64{0, 1, 2, 4, 8}
+	idx := NewBruteIndex(flat, 1, l2())
+	var s Scratch
+	nb := idx.KNN([]float64{0}, 3, -1, &s)
 	if len(nb) != 3 || nb[0].Idx != 0 || nb[1].Idx != 1 || nb[2].Idx != 2 {
 		t.Fatalf("KNN order wrong: %+v", nb)
 	}
@@ -127,7 +128,7 @@ func TestKNNOrderAndSkip(t *testing.T) {
 			t.Fatalf("KNN not ascending: %+v", nb)
 		}
 	}
-	nb = idx.KNN([]float64{0}, 3, 0)
+	nb = idx.KNN([]float64{0}, 3, 0, &s)
 	for _, n := range nb {
 		if n.Idx == 0 {
 			t.Fatalf("skip ignored: %+v", nb)

@@ -29,14 +29,26 @@ type Counts []float64
 // an "other" channel).
 func FromWindow(w window.Window, dim int) Counts {
 	c := make(Counts, dim)
+	FromWindowInto(w, c)
+	return c
+}
+
+// FromWindowInto is the buffer-reuse form of FromWindow: it zeroes dst and
+// accumulates w's per-type counts into it, with len(dst) as the fold
+// dimension. The monitor's steady state calls this once per window, so it
+// must not allocate.
+func FromWindowInto(w window.Window, dst Counts) {
+	dim := len(dst)
+	for i := range dst {
+		dst[i] = 0
+	}
 	for _, ev := range w.Events {
 		i := int(ev.Type)
 		if i >= dim {
 			i = dim - 1
 		}
-		c[i]++
+		dst[i]++
 	}
-	return c
 }
 
 // Total returns the sum of counts (the window's event count).
@@ -55,20 +67,29 @@ func (c Counts) Total() float64 {
 // normalises to the uniform distribution: an empty window carries no type
 // information.
 func (c Counts) Normalize(eps float64) Vector {
+	v := make(Vector, len(c))
+	c.NormalizeInto(v, eps)
+	return v
+}
+
+// NormalizeInto is the buffer-reuse form of Normalize: it writes the
+// smoothed pmf of c into dst, which must have the same length as c.
+func (c Counts) NormalizeInto(dst Vector, eps float64) {
 	n := len(c)
-	v := make(Vector, n)
+	if len(dst) != n {
+		panic(fmt.Sprintf("pmf: NormalizeInto dst length %d != counts length %d", len(dst), n))
+	}
 	total := c.Total() + eps*float64(n)
 	if total == 0 {
 		u := 1.0 / float64(n)
-		for i := range v {
-			v[i] = u
+		for i := range dst {
+			dst[i] = u
 		}
-		return v
+		return
 	}
 	for i, x := range c {
-		v[i] = (x + eps) / total
+		dst[i] = (x + eps) / total
 	}
-	return v
 }
 
 // Clone returns a copy of v.
@@ -166,23 +187,33 @@ func (f Featurizer) FeatureDim() int {
 // sum to 1); it remains a valid LOF point but must not be fed to KL-style
 // divergences. The monitor keeps the KL gate on the pmf prefix.
 func (f Featurizer) Features(w window.Window) Vector {
-	c := FromWindow(w, f.Dim)
-	v := c.Normalize(f.Smoothing)
-	if !f.IncludeRate {
-		return v
+	return f.FeaturesInto(make(Vector, f.FeatureDim()), make(Counts, f.Dim), w)
+}
+
+// FeaturesInto is the buffer-reuse form of Features: dst (length
+// FeatureDim) receives the feature vector, cnt (length Dim) is the count
+// scratch. Both are overwritten; dst is returned. Steady-state window
+// featurization reuses the same two buffers and allocates nothing.
+func (f Featurizer) FeaturesInto(dst Vector, cnt Counts, w window.Window) Vector {
+	if len(dst) != f.FeatureDim() || len(cnt) != f.Dim {
+		panic(fmt.Sprintf("pmf: FeaturesInto buffers %d/%d, want %d/%d",
+			len(dst), len(cnt), f.FeatureDim(), f.Dim))
 	}
-	out := make(Vector, f.Dim+1)
-	copy(out, v)
+	FromWindowInto(w, cnt)
+	cnt.NormalizeInto(dst[:f.Dim], f.Smoothing)
+	if !f.IncludeRate {
+		return dst
+	}
 	scale := f.RateScale
 	if scale <= 0 {
 		scale = 1
 	}
-	r := c.Total() / scale
+	r := cnt.Total() / scale
 	if r > 1 {
 		r = 1 // saturate: only rate *drops* matter for stalls
 	}
-	out[f.Dim] = r
-	return out
+	dst[f.Dim] = r
+	return dst
 }
 
 // PMFOnly returns the pmf prefix of a feature vector produced by Features.

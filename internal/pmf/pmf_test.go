@@ -141,3 +141,77 @@ func TestTypeCountsOver(t *testing.T) {
 		t.Fatalf("counts = %v", c)
 	}
 }
+
+// TestIntoVariantsMatchAllocating: the buffer-reuse forms must reproduce
+// the allocating forms bit-for-bit, even into dirty buffers.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	w := win(0, 0, 1, 3, 2, 2, 7)
+
+	c := make(Counts, 4)
+	for i := range c {
+		c[i] = 99 // dirty
+	}
+	FromWindowInto(w, c)
+	want := FromWindow(w, 4)
+	for i := range c {
+		if c[i] != want[i] {
+			t.Fatalf("FromWindowInto = %v, want %v", c, want)
+		}
+	}
+
+	dst := make(Vector, 4)
+	for i := range dst {
+		dst[i] = -1 // dirty
+	}
+	c.NormalizeInto(dst, 0.5)
+	wantV := c.Normalize(0.5)
+	for i := range dst {
+		if dst[i] != wantV[i] {
+			t.Fatalf("NormalizeInto = %v, want %v", dst, wantV)
+		}
+	}
+
+	for _, f := range []Featurizer{
+		{Dim: 4, Smoothing: 0.5},
+		{Dim: 4, Smoothing: 0.5, IncludeRate: true, RateScale: 10},
+	} {
+		buf := make(Vector, f.FeatureDim())
+		cnt := make(Counts, f.Dim)
+		got := f.FeaturesInto(buf, cnt, w)
+		wantF := f.Features(w)
+		for i := range got {
+			if got[i] != wantF[i] {
+				t.Fatalf("FeaturesInto (rate=%v) = %v, want %v", f.IncludeRate, got, wantF)
+			}
+		}
+	}
+}
+
+// TestFeaturesIntoZeroAlloc: the steady-state featurization path of the
+// monitor must not allocate.
+func TestFeaturesIntoZeroAlloc(t *testing.T) {
+	f := Featurizer{Dim: 4, Smoothing: 0.5, IncludeRate: true, RateScale: 10}
+	w := win(0, 0, 1, 3, 2)
+	buf := make(Vector, f.FeatureDim())
+	cnt := make(Counts, f.Dim)
+	if allocs := testing.AllocsPerRun(100, func() { f.FeaturesInto(buf, cnt, w) }); allocs != 0 {
+		t.Fatalf("FeaturesInto allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestIntoVariantsRejectBadBuffers: length mismatches must fail loudly.
+func TestIntoVariantsRejectBadBuffers(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s accepted a bad buffer", name)
+			}
+		}()
+		fn()
+	}
+	c := Counts{1, 2, 3}
+	mustPanic("NormalizeInto", func() { c.NormalizeInto(make(Vector, 2), 0) })
+	f := Featurizer{Dim: 3, IncludeRate: true}
+	mustPanic("FeaturesInto short dst", func() { f.FeaturesInto(make(Vector, 3), make(Counts, 3), win(0)) })
+	mustPanic("FeaturesInto short cnt", func() { f.FeaturesInto(make(Vector, 4), make(Counts, 2), win(0)) })
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"enduratrace/internal/core"
 	"enduratrace/internal/eval"
 )
 
@@ -29,12 +30,37 @@ type Result struct {
 	Elapsed time.Duration
 }
 
+// learnKey identifies the learning-relevant job axes: alpha and factor
+// play no part in the learning step (alpha only thresholds monitoring,
+// and the reference run is always clean), so every job agreeing on seed,
+// distance and K shares one immutable learned model.
+type learnKey struct {
+	Seed     int64
+	Distance string
+	K        int
+}
+
+// learnEntry is the once-guarded slot of one shared model: the first
+// worker to need the key learns it, concurrent workers for other cells
+// block on the Once and then monitor their own streams against the same
+// in-memory model — the MultiMonitor pattern applied to the sweep.
+type learnEntry struct {
+	once sync.Once
+	l    *core.Learned
+	err  error
+}
+
 // Run expands the grid, executes every job on a bounded worker pool, and
 // streams the results into per-cell summaries, which come back in grid
 // order. Reports are folded as they arrive and then dropped, so memory is
 // O(cells), not O(jobs). When jobs fail, the remaining jobs still run and
 // the joined errors are returned alongside the summaries of the cells
 // that did complete.
+//
+// Jobs that share their learning configuration (same seed, distance and
+// K — e.g. an alpha or factor axis) learn once and share the fitted model
+// across concurrent workers; learning is deterministic per key, so the
+// results are identical to learning per job, just cheaper.
 func Run(g Grid, opts RunOptions) ([]CellSummary, error) {
 	jobs, err := g.Jobs()
 	if err != nil {
@@ -46,6 +72,15 @@ func Run(g Grid, opts RunOptions) ([]CellSummary, error) {
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
+	}
+
+	// Pre-register every learn key so workers only read the map.
+	models := make(map[learnKey]*learnEntry)
+	for _, j := range jobs {
+		key := learnKey{Seed: j.Seed, Distance: j.Cell.Distance, K: j.Cell.K}
+		if models[key] == nil {
+			models[key] = &learnEntry{}
+		}
 	}
 
 	jobCh := make(chan Job)
@@ -61,7 +96,13 @@ func Run(g Grid, opts RunOptions) ([]CellSummary, error) {
 				res.Job = j
 				o, err := g.Options(j)
 				if err == nil {
-					res.Report, err = eval.Run(o)
+					entry := models[learnKey{Seed: j.Seed, Distance: j.Cell.Distance, K: j.Cell.K}]
+					entry.once.Do(func() {
+						entry.l, entry.err = eval.Learn(o)
+					})
+					if err = entry.err; err == nil {
+						res.Report, err = eval.RunWithLearned(o, entry.l)
+					}
 				}
 				if err != nil {
 					res.Err = fmt.Errorf("sweep: job %d (%s seed %d): %w", j.Index, j.Cell, j.Seed, err)

@@ -312,3 +312,50 @@ func TestParseGridRejectsUnknownKeys(t *testing.T) {
 		t.Fatal("unknown key accepted")
 	}
 }
+
+// TestSharedModelAcrossAlphaCells: cells that differ only in alpha share
+// one learned model per (seed, distance, K), concurrently — the result of
+// every cell must still byte-match a standalone eval.Run that learns its
+// own model, because learning is deterministic and alpha plays no part
+// in it. Run under -race this also exercises the shared immutable model
+// from multiple monitoring goroutines.
+func TestSharedModelAcrossAlphaCells(t *testing.T) {
+	g := tinyGrid()
+	g.Alphas = []float64{2.0, 2.5, 3.0}
+
+	reports := make(map[float64]*eval.Report)
+	_, err := Run(g, RunOptions{Workers: 3, OnResult: func(r Result) {
+		if r.Err != nil {
+			t.Errorf("job error: %v", r.Err)
+			return
+		}
+		reports[r.Job.Cell.Alpha] = r.Report
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("%d cell reports, want 3", len(reports))
+	}
+
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		opts, err := g.Options(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eval.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, _ := json.Marshal(reports[j.Cell.Alpha])
+		wantJSON, _ := json.Marshal(want)
+		if string(gotJSON) != string(wantJSON) {
+			t.Fatalf("alpha %g: shared-model sweep differs from standalone eval:\n%s\n%s",
+				j.Cell.Alpha, gotJSON, wantJSON)
+		}
+	}
+}
