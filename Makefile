@@ -34,10 +34,12 @@ bench:
 	$(GO) run ./cmd/enduratrace sweep -seeds 3 -out BENCH_sweep.json
 
 # Microbenchmarks for the monitoring hot path: LOF scoring (exact brute vs
-# condensed flat kernels vs VP-tree), the distance row/gate kernels, and
-# the monitor's per-window cost. The before/after pairs live side by side
-# (ScoreBrute* vs ScoreCondensed*, RowsSymKL vs RowsSymKLFast); the output
-# is kept in BENCH_micro.txt so CI can archive the perf trajectory.
+# condensed flat kernels vs VP-tree), the distance row/gate kernels, the
+# monitor's per-window cost, and the serve section (end-to-end loopback
+# socket throughput: frame codec → queue → monitor → sink). The
+# before/after pairs live side by side (ScoreBrute* vs ScoreCondensed*,
+# RowsSymKL vs RowsSymKLFast); the output is kept in BENCH_micro.txt so CI
+# can archive the perf trajectory.
 microbench:
 	$(GO) test -run '^$$' -bench . -benchtime 20x -benchmem \
-		./internal/lof ./internal/distance ./internal/core | tee BENCH_micro.txt
+		./internal/lof ./internal/distance ./internal/core ./internal/serve | tee BENCH_micro.txt

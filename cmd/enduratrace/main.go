@@ -6,9 +6,11 @@
 //	enduratrace eval     run the full §III experiment and report metrics
 //	enduratrace sweep    run a parallel ablation sweep with multi-seed CIs
 //	enduratrace soak     run one long-horizon cell with streaming scoring
+//	enduratrace serve    network daemon monitoring live TCP trace streams
 //
 // Every subcommand prints a human summary to stderr; machine-readable JSON
-// goes to stdout (monitor/learn behind -json, eval/sweep/soak always).
+// goes to stdout (monitor/learn/serve behind -json, eval/sweep/soak always).
+// See docs/CLI.md for the full flag reference.
 package main
 
 import (
@@ -36,6 +38,8 @@ func main() {
 		err = cmdSweep(os.Args[2:])
 	case "soak":
 		err = cmdSoak(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -64,7 +68,10 @@ subcommands:
            aggregating per-cell mean ± 95% CI over seeds
   soak     run one long-horizon cell with periodic progress and
            constant-memory streaming scoring
+  serve    long-lived daemon: accept live trace streams over TCP, score
+           them against one shared model, expose an HTTP admin endpoint
 
-run 'enduratrace <subcommand> -h' for per-subcommand flags.
+run 'enduratrace <subcommand> -h' for per-subcommand flags, or see
+docs/CLI.md for the full reference.
 `)
 }

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"enduratrace/internal/core"
+	"enduratrace/internal/eval"
+	"enduratrace/internal/mediasim"
+	"enduratrace/internal/recorder"
+	"enduratrace/internal/serve"
+)
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("enduratrace serve", flag.ContinueOnError)
+	modelIn := fs.String("model", "model.json", "learned model file (from 'enduratrace learn')")
+	listen := fs.String("listen", "127.0.0.1:9464", "trace ingestion TCP address")
+	admin := fs.String("admin", "127.0.0.1:9465", "HTTP admin address (/healthz /streams /stats; '' disables)")
+	recDir := fs.String("rec-dir", "", "record each stream's anomalous windows to <dir>/<stream>.etrc ('' = stat-only)")
+	compress := fs.Int("compress", -1, "flate level for -rec-dir sinks (-1 = no compression)")
+	queue := fs.Int("queue", 1024, "per-stream bounded event queue length")
+	bp := fs.String("backpressure", "block", "full-queue policy: block (TCP backpressure) or drop-oldest")
+	alpha := fs.Float64("alpha", 0, "override the model's LOF threshold (0 = keep)")
+	jsonOut := fs.Bool("json", false, "print the final report as JSON on stdout")
+	selftest := fs.Bool("selftest", false, "loopback load test: fan simulated clients through real sockets, verify the books, exit")
+	clients := fs.Int("clients", 8, "selftest: number of concurrent loopback clients")
+	clientDur := fs.Duration("client-duration", 30*time.Second, "selftest: simulated trace time per client")
+	clientSeed := fs.Int64("client-seed", 100, "selftest: client i simulates seed client-seed+i")
+	clientFactor := fs.Float64("client-factor", 3, "selftest: periodic CPU perturbation factor per client (1 = clean)")
+	refDur := fs.Duration("ref-duration", 30*time.Second, "selftest: reference run length when learning in-process (no model file)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	policy, err := serve.ParseBackpressure(*bp)
+	if err != nil {
+		return err
+	}
+	var sinks recorder.SinkFactory
+	if *recDir != "" {
+		if sinks, err = recorder.NewDirFactory(*recDir, *compress); err != nil {
+			return err
+		}
+	}
+
+	cfg, learned, err := serveModel(*modelIn, *selftest, *refDur)
+	if err != nil {
+		return err
+	}
+	if *alpha > 0 {
+		cfg.Alpha = *alpha
+	}
+
+	if *selftest {
+		return serveSelftest(cfg, learned, serve.SelftestOptions{
+			Clients:      *clients,
+			Duration:     *clientDur,
+			SeedBase:     *clientSeed,
+			Factor:       *clientFactor,
+			QueueLen:     *queue,
+			Backpressure: policy,
+			Sinks:        sinks,
+			Log:          os.Stderr,
+		}, *jsonOut)
+	}
+
+	srv, err := serve.New(serve.Options{
+		Cfg:          cfg,
+		Learned:      learned,
+		QueueLen:     *queue,
+		Backpressure: policy,
+		Sinks:        sinks,
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Listen(*listen, *admin); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serve: %d-point model, trace ingest on %s", learned.Model.Len(), srv.TraceAddr())
+	if a := srv.AdminAddr(); a != nil {
+		fmt.Fprintf(os.Stderr, ", admin on http://%s", a)
+	}
+	fmt.Fprintf(os.Stderr, " (backpressure %s, queue %d); SIGINT to drain and stop\n", policy, *queue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx); err != nil {
+		return err
+	}
+
+	results := srv.Results()
+	stats := srv.Stats()
+	for _, res := range results {
+		fmt.Fprintf(os.Stderr,
+			"serve: stream %-16s %7d windows, %5d trips, %4d anomalies, %d B recorded (clean=%v)\n",
+			res.ID, res.Windows, res.GateTrips, res.Anomalies, res.RecordedBytes, res.Clean)
+	}
+	fmt.Fprintf(os.Stderr,
+		"serve: %d streams served: %d windows, %d gate trips, %d anomalies, recorded %d of %d bytes (reduction %s)\n",
+		stats.StreamsClosed, stats.Windows, stats.GateTrips, stats.Anomalies,
+		stats.RecordedBytes, stats.FullBytes, reductionString(stats.ReductionFactor))
+	if *jsonOut {
+		return emitJSON(struct {
+			Stats   serve.StatsReport    `json:"stats"`
+			Streams []serve.StreamResult `json:"streams"`
+		}{stats, results}, "")
+	}
+	return nil
+}
+
+// serveModel loads the model file, or — in selftest mode when the file is
+// absent — learns one in-process from a clean simulated reference so the
+// selftest is runnable from a bare checkout.
+func serveModel(path string, selftest bool, refDur time.Duration) (core.Config, *core.Learned, error) {
+	f, err := os.Open(path)
+	if err == nil {
+		defer f.Close()
+		return core.LoadModel(f)
+	}
+	if !selftest || !os.IsNotExist(err) {
+		return core.Config{}, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "serve: no model at %s, learning in-process from a %v clean reference\n", path, refDur)
+	cfg := eval.DefaultOptions().Core
+	sc := mediasim.DefaultConfig()
+	sc.Duration = refDur
+	sim, err := mediasim.New(sc)
+	if err != nil {
+		return core.Config{}, nil, err
+	}
+	learned, err := core.Learn(cfg, sim)
+	if err != nil {
+		return core.Config{}, nil, err
+	}
+	return cfg, learned, nil
+}
+
+func serveSelftest(cfg core.Config, learned *core.Learned, opts serve.SelftestOptions, jsonOut bool) error {
+	opts.Cfg = cfg
+	opts.Learned = learned
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "serve: selftest, %d loopback clients × %v trace each over a %d-point model\n",
+		opts.Clients, opts.Duration, learned.Model.Len())
+	rep, err := serve.Selftest(ctx, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"serve: selftest OK: %d clients, %d events / %d windows in %.2fs wall (%.0f events/s, %.0f windows/s)\n",
+		rep.Clients, rep.EventsSent, rep.WindowsSent, rep.WallS, rep.EventsPerS, rep.WindowsPerS)
+	books := fmt.Sprintf("/stats windows %d == sent %d", rep.Stats.Windows, rep.WindowsSent)
+	if rep.Stats.DroppedEvents > 0 {
+		books = fmt.Sprintf("/stats windows %d of %d sent (%d events shed by drop-oldest, all on record)",
+			rep.Stats.Windows, rep.WindowsSent, rep.Stats.DroppedEvents)
+	}
+	fmt.Fprintf(os.Stderr,
+		"serve: selftest books: %s; %d anomalies, recorded %d of %d bytes (reduction %s)\n",
+		books, rep.Stats.Anomalies,
+		rep.Stats.RecordedBytes, rep.Stats.FullBytes, reductionString(rep.Stats.ReductionFactor))
+	if jsonOut {
+		return emitJSON(rep, "")
+	}
+	return nil
+}

@@ -4,7 +4,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"strings"
 	"time"
 
 	"enduratrace/internal/mediasim"
@@ -30,10 +32,11 @@ func loadFlags(fs *flag.FlagSet) func(horizon time.Duration) (perturb.Load, erro
 
 func cmdSim(args []string) error {
 	fs := flag.NewFlagSet("enduratrace sim", flag.ContinueOnError)
-	out := fs.String("out", "", "output trace file ('-' for stdout; required)")
+	out := fs.String("out", "", "output trace file ('-' for stdout, 'tcp://host:port' to stream to a serve daemon; required)")
 	text := fs.Bool("text", false, "write CSV text instead of the binary codec")
 	duration := fs.Duration("duration", 10*time.Minute, "simulated horizon")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	stream := fs.String("stream", "", "stream name sent to the serve daemon (tcp:// output only)")
 	mkLoad := loadFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +56,13 @@ func cmdSim(args []string) error {
 	sim, err := mediasim.New(cfg)
 	if err != nil {
 		return err
+	}
+
+	if addr, ok := strings.CutPrefix(*out, "tcp://"); ok {
+		if *text {
+			return fmt.Errorf("sim: -text is not supported with a tcp:// output")
+		}
+		return simToServer(sim, addr, *stream, *duration)
 	}
 
 	var w io.Writer = os.Stdout
@@ -93,6 +103,29 @@ func cmdSim(args []string) error {
 	} else {
 		fmt.Fprintf(os.Stderr, "sim: %d events over %v\n", n, *duration)
 	}
+	return nil
+}
+
+// simToServer streams the simulation to a running `enduratrace serve`
+// daemon over the framed TCP protocol and closes the stream cleanly.
+func simToServer(sim *mediasim.Sim, addr, stream string, duration time.Duration) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("sim: dialing serve daemon: %w", err)
+	}
+	defer conn.Close()
+	fw, err := traceio.NewFrameWriter(conn, stream)
+	if err != nil {
+		return err
+	}
+	n, err := trace.Copy(fw, sim)
+	if err != nil {
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sim: streamed %d events over %v to %s\n", n, duration, addr)
 	return nil
 }
 

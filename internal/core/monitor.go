@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"enduratrace/internal/distance"
@@ -194,11 +195,15 @@ type Monitor struct {
 	counts  pmf.Counts // per-window count scratch
 	featBuf pmf.Vector // per-window feature scratch
 
-	seeded   bool
-	windows  int
-	trips    int
-	anoms    int
-	lofCalls int
+	seeded bool
+	noAcct bool
+	// Counters are atomics so admin surfaces (serve's /streams, /stats)
+	// can Snapshot a monitor mid-Run without a lock on the hot path; only
+	// the owning goroutine writes them.
+	windows  atomic.Int64
+	trips    atomic.Int64
+	anoms    atomic.Int64
+	lofCalls atomic.Int64
 }
 
 // NewMonitor builds a monitor around a learned model. The model must have
@@ -240,6 +245,13 @@ func NewMonitor(cfg Config, learned *Learned) (*Monitor, error) {
 // under GateAuto, the configured one otherwise).
 func (m *Monitor) GateThreshold() float64 { return m.gateThreshold }
 
+// DisableByteAccounting makes Run skip the per-event encoded-size
+// accounting, leaving RunStats.FullBytes zero. The serving layer accounts
+// received bytes itself at ingest time (where dropped events are still
+// visible), so the monitor repeating the arithmetic per event would be
+// pure hot-path overhead.
+func (m *Monitor) DisableByteAccounting() { m.noAcct = true }
+
 // ProcessWindow runs the §II online step on one window and returns the
 // decision. Recording is the caller's job (see Run), keeping the monitor
 // storage-agnostic.
@@ -248,7 +260,7 @@ func (m *Monitor) GateThreshold() float64 { return m.gateThreshold }
 // it is valid until the next ProcessWindow call; callers that retain it
 // must clone it.
 func (m *Monitor) ProcessWindow(w window.Window) Decision {
-	m.windows++
+	m.windows.Add(1)
 	features := m.feat.FeaturesInto(m.featBuf, m.counts, w)
 	npmf := m.feat.PMFOnly(features)
 
@@ -273,12 +285,12 @@ func (m *Monitor) ProcessWindow(w window.Window) Decision {
 		return d
 	}
 
-	m.trips++
-	m.lofCalls++
+	m.trips.Add(1)
+	m.lofCalls.Add(1)
 	d.LOF = m.scorer.Score(features)
 	d.Anomalous = d.LOF >= m.cfg.Alpha
 	if d.Anomalous {
-		m.anoms++
+		m.anoms.Add(1)
 	}
 	// Regime switch: the past pmf restarts at the new behaviour so the gate
 	// re-arms instead of tripping on every subsequent window of a changed
@@ -289,7 +301,40 @@ func (m *Monitor) ProcessWindow(w window.Window) Decision {
 
 // Stats reports monitor counters.
 func (m *Monitor) Stats() (windows, gateTrips, lofCalls, anomalies int) {
-	return m.windows, m.trips, m.lofCalls, m.anoms
+	s := m.Snapshot()
+	return int(s.Windows), int(s.GateTrips), int(s.LOFCalls), int(s.Anomalies)
+}
+
+// Snapshot is a point-in-time view of a monitor's counters. Unlike
+// RunStats it can be taken while the monitor is mid-Run: the counters are
+// atomics, so a concurrent observer (the serve admin endpoints) reads a
+// consistent-enough live view without locking the hot path.
+type Snapshot struct {
+	Windows   int64 `json:"windows"`
+	GateTrips int64 `json:"gate_trips"`
+	LOFCalls  int64 `json:"lof_calls"`
+	Anomalies int64 `json:"anomalies"`
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		Windows:   s.Windows + o.Windows,
+		GateTrips: s.GateTrips + o.GateTrips,
+		LOFCalls:  s.LOFCalls + o.LOFCalls,
+		Anomalies: s.Anomalies + o.Anomalies,
+	}
+}
+
+// Snapshot returns the monitor's live counters. Safe to call from any
+// goroutine at any time, including while the monitor is processing.
+func (m *Monitor) Snapshot() Snapshot {
+	return Snapshot{
+		Windows:   m.windows.Load(),
+		GateTrips: m.trips.Load(),
+		LOFCalls:  m.lofCalls.Load(),
+		Anomalies: m.anoms.Load(),
+	}
 }
 
 // Learned bundles a fitted LOF model with the featurizer that produced its
@@ -355,7 +400,15 @@ func Learn(cfg Config, r trace.Reader) (*Learned, error) {
 		MeanCount:  feat.RateScale,
 	}
 	if cfg.GateAuto {
-		learned.AutoGateThreshold = calibrateGate(cfg, feat, points)
+		thr := calibrateGate(cfg, feat, points)
+		if thr <= 0 {
+			// A zero threshold would be indistinguishable from "never
+			// calibrated" downstream (NewMonitor's sentinel); fail here,
+			// at learn time, with the actual cause.
+			return nil, fmt.Errorf("core: auto gate calibration produced a zero threshold (the reference trace's gate distances are all zero at q=%.3g); use a fixed GateThreshold",
+				cfg.gateAutoQuantile())
+		}
+		learned.AutoGateThreshold = thr
 	}
 	return learned, nil
 }
@@ -424,7 +477,10 @@ func (m *Monitor) Run(r trace.Reader, sink recorder.Sink,
 	onDecision func(Decision) error) (RunStats, error) {
 
 	var stats RunStats
-	acct := traceio.NewSizeAccountant()
+	var acct *traceio.SizeAccountant
+	if !m.noAcct {
+		acct = traceio.NewSizeAccountant()
+	}
 	ctxSink, _ := sink.(*recorder.ContextSink)
 
 	wdr := m.cfg.NewWindower()
@@ -466,8 +522,10 @@ func (m *Monitor) Run(r trace.Reader, sink recorder.Sink,
 		if err != nil {
 			return stats, err
 		}
-		if aerr := acct.Write(ev); aerr != nil {
-			return stats, aerr
+		if acct != nil {
+			if aerr := acct.Write(ev); aerr != nil {
+				return stats, aerr
+			}
 		}
 		if w, ok := wdr.Add(ev); ok {
 			if perr := process(w); perr != nil {
@@ -492,7 +550,9 @@ func (m *Monitor) Run(r trace.Reader, sink recorder.Sink,
 		}
 	}
 
-	stats.FullBytes = acct.Bytes()
+	if acct != nil {
+		stats.FullBytes = acct.Bytes()
+	}
 	if sink != nil {
 		stats.RecBytes = sink.BytesWritten()
 		stats.RecWindows = sink.WindowsRecorded()

@@ -46,8 +46,9 @@ func (mm *MultiMonitor) Stream(i int) *Monitor { return mm.streams[i] }
 // Learned returns the shared immutable model.
 func (mm *MultiMonitor) Learned() *Learned { return mm.learned }
 
-// Stats sums the per-stream counters. Call it only when no stream is
-// mid-Run (the per-stream counters are not synchronised).
+// Stats sums the per-stream counters. The counters are atomics, so this
+// is safe to call while streams are mid-Run; the sum is then a live
+// (not mutually consistent) view.
 func (mm *MultiMonitor) Stats() (windows, gateTrips, lofCalls, anomalies int) {
 	for _, m := range mm.streams {
 		w, t, l, a := m.Stats()

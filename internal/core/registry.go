@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StreamState labels a registered stream's lifecycle phase.
+type StreamState string
+
+const (
+	// StreamActive: the stream is receiving and scoring windows.
+	StreamActive StreamState = "active"
+	// StreamDraining: ingestion has stopped (clean end-of-stream or
+	// shutdown) and the remaining queued events are being scored.
+	StreamDraining StreamState = "draining"
+)
+
+// StreamStatus is one registered stream's public view, served by admin
+// endpoints while the stream runs.
+type StreamStatus struct {
+	ID       string      `json:"id"`
+	State    StreamState `json:"state"`
+	Since    time.Time   `json:"since"`
+	Counters Snapshot    `json:"counters"`
+}
+
+// StreamRegistry tracks the live streams served from one shared Learned
+// and accumulates the counters of streams that have finished, so
+// aggregate totals (served + serving) survive stream churn. It is the
+// serving layer's bookkeeping hook into core: registration hands out the
+// per-stream Monitor, and closing a stream folds its final counters into
+// the cumulative totals exactly once.
+type StreamRegistry struct {
+	cfg     Config
+	learned *Learned
+
+	mu     sync.Mutex
+	seq    int
+	live   map[string]*StreamHandle
+	closed Snapshot // totals of finished streams
+	nDone  int
+}
+
+// NewStreamRegistry builds a registry serving cfg over one shared learned
+// model. Monitor construction is validated once up front so per-stream
+// registration cannot fail on config errors mid-serve.
+func NewStreamRegistry(cfg Config, learned *Learned) (*StreamRegistry, error) {
+	// Validate eagerly with a throwaway monitor.
+	if _, err := NewMonitor(cfg, learned); err != nil {
+		return nil, err
+	}
+	return &StreamRegistry{
+		cfg:     cfg,
+		learned: learned,
+		live:    make(map[string]*StreamHandle),
+	}, nil
+}
+
+// Learned returns the shared immutable model.
+func (r *StreamRegistry) Learned() *Learned { return r.learned }
+
+// StreamHandle is one registered stream: its Monitor plus registry
+// bookkeeping. The Monitor is owned by the stream's goroutine; the handle's
+// other methods are safe from any goroutine.
+type StreamHandle struct {
+	reg   *StreamRegistry
+	id    string
+	mon   *Monitor
+	since time.Time
+
+	mu    sync.Mutex
+	state StreamState
+	done  bool
+}
+
+// Register creates a Monitor over the shared model and registers it under
+// name. An empty name gets a sequential "stream-NNNN" id; a taken name is
+// suffixed with the sequence number instead of failing, so client-chosen
+// names can collide harmlessly.
+func (r *StreamRegistry) Register(name string) (*StreamHandle, error) {
+	mon, err := NewMonitor(r.cfg, r.learned)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	base := name
+	if base == "" {
+		base = fmt.Sprintf("stream-%04d", r.seq)
+	}
+	// Suffix until unique: auto ids and client names share one namespace,
+	// so both paths must dodge collisions (a client may have claimed
+	// "stream-0002" before auto id 2 is handed out).
+	id := base
+	for seq := r.seq; ; seq++ {
+		if _, taken := r.live[id]; !taken {
+			break
+		}
+		id = fmt.Sprintf("%s-%04d", base, seq)
+	}
+	h := &StreamHandle{reg: r, id: id, mon: mon, since: time.Now(), state: StreamActive}
+	r.live[id] = h
+	return h, nil
+}
+
+// ID returns the registry-assigned stream id.
+func (h *StreamHandle) ID() string { return h.id }
+
+// Monitor returns the stream's monitor (owned by the stream goroutine).
+func (h *StreamHandle) Monitor() *Monitor { return h.mon }
+
+// SetState transitions the stream's lifecycle label (shown by /streams).
+func (h *StreamHandle) SetState(s StreamState) {
+	h.mu.Lock()
+	h.state = s
+	h.mu.Unlock()
+}
+
+// Status returns the stream's public view with live counters.
+func (h *StreamHandle) Status() StreamStatus {
+	h.mu.Lock()
+	state := h.state
+	h.mu.Unlock()
+	return StreamStatus{ID: h.id, State: state, Since: h.since, Counters: h.mon.Snapshot()}
+}
+
+// Close unregisters the stream and folds its final counters into the
+// registry's cumulative totals. Idempotent.
+func (h *StreamHandle) Close() {
+	h.mu.Lock()
+	if h.done {
+		h.mu.Unlock()
+		return
+	}
+	h.done = true
+	h.mu.Unlock()
+
+	h.reg.mu.Lock()
+	delete(h.reg.live, h.id)
+	h.reg.closed = h.reg.closed.Add(h.mon.Snapshot())
+	h.reg.nDone++
+	h.reg.mu.Unlock()
+}
+
+// Streams lists the live streams' statuses, sorted by id.
+func (r *StreamRegistry) Streams() []StreamStatus {
+	r.mu.Lock()
+	handles := make([]*StreamHandle, 0, len(r.live))
+	for _, h := range r.live {
+		handles = append(handles, h)
+	}
+	r.mu.Unlock()
+	out := make([]StreamStatus, len(handles))
+	for i, h := range handles {
+		out[i] = h.Status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Totals returns the aggregate counters over every stream ever registered
+// (closed streams' final counters plus the live streams' current ones),
+// along with the live and finished stream counts. Safe mid-serve.
+func (r *StreamRegistry) Totals() (total Snapshot, liveStreams, closedStreams int) {
+	r.mu.Lock()
+	total = r.closed
+	closedStreams = r.nDone
+	handles := make([]*StreamHandle, 0, len(r.live))
+	for _, h := range r.live {
+		handles = append(handles, h)
+	}
+	r.mu.Unlock()
+	for _, h := range handles {
+		total = total.Add(h.mon.Snapshot())
+	}
+	return total, len(handles), closedStreams
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"enduratrace/internal/mediasim"
+)
+
+// registryFixture learns a small model suitable for registry tests.
+func registryFixture(t *testing.T) (Config, *Learned) {
+	t.Helper()
+	cfg := NewConfig(mediasim.NumEventTypes)
+	cfg.IncludeRate = true
+	sc := mediasim.DefaultConfig()
+	sc.Duration = 20 * time.Second
+	sc.Seed = 11
+	sim, err := mediasim.New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned, err := Learn(cfg, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, learned
+}
+
+func TestStreamRegistryLifecycle(t *testing.T) {
+	cfg, learned := registryFixture(t)
+	reg, err := NewStreamRegistry(cfg, learned)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := reg.Register("cam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reg.Register("cam") // name collision gets a suffix
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := reg.Register("") // empty name gets a sequential id
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != "cam" || b.ID() == "cam" || c.ID() == "" {
+		t.Fatalf("ids: %q %q %q", a.ID(), b.ID(), c.ID())
+	}
+	if n := len(reg.Streams()); n != 3 {
+		t.Fatalf("live streams %d, want 3", n)
+	}
+
+	// Drive one stream and check totals fold in on Close exactly once.
+	sc := mediasim.DefaultConfig()
+	sc.Duration = 10 * time.Second
+	sc.Seed = 12
+	sim, err := mediasim.New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := a.Monitor().Run(sim, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Windows == 0 {
+		t.Fatal("monitored run produced no windows")
+	}
+
+	total, live, closed := reg.Totals()
+	if live != 3 || closed != 0 {
+		t.Fatalf("live=%d closed=%d before Close, want 3/0", live, closed)
+	}
+	if total.Windows != int64(stats.Windows) {
+		t.Fatalf("live totals windows %d, want %d", total.Windows, stats.Windows)
+	}
+
+	a.SetState(StreamDraining)
+	if st := a.Status(); st.State != StreamDraining {
+		t.Fatalf("state %q, want draining", st.State)
+	}
+
+	a.Close()
+	a.Close() // idempotent
+	total, live, closed = reg.Totals()
+	if live != 2 || closed != 1 {
+		t.Fatalf("live=%d closed=%d after Close, want 2/1", live, closed)
+	}
+	if total.Windows != int64(stats.Windows) {
+		t.Fatalf("totals windows %d after Close, want %d (folded exactly once)", total.Windows, stats.Windows)
+	}
+	b.Close()
+	c.Close()
+	if n := len(reg.Streams()); n != 0 {
+		t.Fatalf("live streams %d after closing all, want 0", n)
+	}
+}
+
+func TestStreamRegistryAutoIDCollision(t *testing.T) {
+	cfg, learned := registryFixture(t)
+	reg, err := NewStreamRegistry(cfg, learned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim the id the second auto-named registration would get; the
+	// registry must dodge it rather than overwrite the live entry.
+	squatter, err := reg.Register("stream-0002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := reg.Register("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.ID() == squatter.ID() {
+		t.Fatalf("auto id %q collided with a live client-chosen name", auto.ID())
+	}
+	if n := len(reg.Streams()); n != 2 {
+		t.Fatalf("live streams %d, want 2 (one was overwritten)", n)
+	}
+	squatter.Close()
+	auto.Close()
+	if _, live, closed := reg.Totals(); live != 0 || closed != 2 {
+		t.Fatalf("live=%d closed=%d, want 0/2", live, closed)
+	}
+}
+
+func TestSnapshotWhileRunning(t *testing.T) {
+	cfg, learned := registryFixture(t)
+	mon, err := NewMonitor(cfg, learned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := mediasim.DefaultConfig()
+	sc.Duration = 15 * time.Second
+	sc.Seed = 13
+	sim, err := mediasim.New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent snapshots while the monitor runs: -race validates the
+	// atomics, and snapshots must be monotonic in window count.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := mon.Snapshot()
+			if s.Windows < last {
+				t.Error("snapshot window count went backwards")
+				return
+			}
+			last = s.Windows
+		}
+	}()
+	stats, err := mon.Run(sim, nil, nil)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := mon.Snapshot(); s.Windows != int64(stats.Windows) {
+		t.Fatalf("final snapshot windows %d != RunStats windows %d", s.Windows, stats.Windows)
+	}
+}

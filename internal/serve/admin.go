@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// healthReport is the /healthz body.
+type healthReport struct {
+	Status      string  `json:"status"`
+	UptimeS     float64 `json:"uptime_s"`
+	StreamsLive int     `json:"streams_live"`
+	ModelPoints int     `json:"model_points"`
+}
+
+// adminMux builds the admin endpoints:
+//
+//	GET /healthz  liveness + model identity
+//	GET /streams  live streams with queue/sink counters
+//	GET /stats    aggregate totals in the `monitor -json` report shape
+func (s *Server) adminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, live, _ := s.reg.Totals()
+		writeJSON(w, healthReport{
+			Status:      "ok",
+			UptimeS:     time.Since(s.start).Seconds(),
+			StreamsLive: live,
+			ModelPoints: s.opts.Learned.Model.Len(),
+		})
+	})
+	mux.HandleFunc("GET /streams", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Streams())
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// serveAdmin runs the admin HTTP server until the listener closes (during
+// Server shutdown, after the streams have drained — so /stats stays
+// queryable through the drain).
+func (s *Server) serveAdmin() {
+	srv := &http.Server{Handler: s.adminMux(), ReadHeaderTimeout: 5 * time.Second}
+	srv.Serve(s.adminLn) // returns when adminLn closes
+}

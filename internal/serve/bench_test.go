@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"enduratrace/internal/mediasim"
+	"enduratrace/internal/trace"
+	"enduratrace/internal/traceio"
+)
+
+// benchEvents caches one pre-simulated 5 s trace for the wire benchmark.
+var (
+	benchOnce sync.Once
+	benchEvs  []trace.Event
+	benchErr  error
+)
+
+func benchTrace(b *testing.B) []trace.Event {
+	b.Helper()
+	benchOnce.Do(func() {
+		sc := mediasim.DefaultConfig()
+		sc.Duration = 5 * time.Second
+		sc.Seed = 99
+		sim, err := mediasim.New(sc)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchEvs, benchErr = trace.ReadAll(sim)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEvs
+}
+
+// BenchmarkServeLoopback measures the full serving path end-to-end over a
+// real TCP loopback socket: frame encode → socket → frame decode → queue →
+// window → gate → LOF → null sink. One iteration pushes one 5 s simulated
+// trace segment (timestamps shifted so the stream stays monotonic) and the
+// timer includes the server catching up, so events/s is true end-to-end
+// ingest+scoring throughput.
+func BenchmarkServeLoopback(b *testing.B) {
+	cfg, learned := fixture(b)
+	evs := benchTrace(b)
+
+	srv, err := New(Options{Cfg: cfg, Learned: learned, QueueLen: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0", ""); err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ctx) }()
+
+	conn, err := net.Dial("tcp", srv.TraceAddr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	fw, err := traceio.NewFrameWriter(conn, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	span := evs[len(evs)-1].TS + time.Millisecond
+	var epoch time.Duration
+	sent := 0
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ev := range evs {
+			ev.TS += epoch
+			if err := fw.Write(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		epoch += span
+		sent += len(evs)
+	}
+	if err := fw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	// Wait for the server to finish scoring everything sent.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if _, live, closed := srv.reg.Totals(); live == 0 && closed == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("server did not drain within 2m")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.StopTimer()
+
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(sent)/elapsed, "events/s")
+		b.ReportMetric(float64(srv.Stats().Windows)/elapsed, "windows/s")
+	}
+	cancel()
+	if err := <-serveErr; err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"enduratrace/internal/trace"
+)
+
+// Backpressure selects what an ingester does when a stream's bounded
+// event queue is full.
+type Backpressure int
+
+const (
+	// Block stalls the ingest goroutine until the scorer catches up; the
+	// stall propagates to the client through TCP flow control, so a slow
+	// model slows the sender instead of losing data.
+	Block Backpressure = iota
+	// DropOldest discards the oldest queued event to admit the new one,
+	// bounding client-visible latency at the cost of holes in the scored
+	// stream; the drop count is reported per stream.
+	DropOldest
+)
+
+// String implements fmt.Stringer with the flag spelling.
+func (b Backpressure) String() string {
+	switch b {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	default:
+		return fmt.Sprintf("Backpressure(%d)", int(b))
+	}
+}
+
+// ParseBackpressure parses the -backpressure flag value.
+func ParseBackpressure(s string) (Backpressure, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown backpressure policy %q (want block or drop-oldest)", s)
+	}
+}
+
+// eventQueue is the bounded handoff between a stream's ingest goroutine
+// (socket → decode) and its scoring goroutine (window → gate → LOF →
+// record). It implements trace.Reader on the consumer side; Next returns
+// io.EOF once the queue is closed and drained, so a core.Monitor.Run over
+// the queue terminates cleanly whatever ended ingestion.
+type eventQueue struct {
+	mu       sync.Mutex
+	notFull  sync.Cond
+	notEmpty sync.Cond
+	buf      []trace.Event // ring buffer
+	head     int
+	n        int
+	closed   bool
+	policy   Backpressure
+
+	dropped  atomic.Int64
+	ingested atomic.Int64
+	scored   atomic.Int64
+}
+
+func newEventQueue(capacity int, policy Backpressure) *eventQueue {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	q := &eventQueue{buf: make([]trace.Event, capacity), policy: policy}
+	q.notFull.L = &q.mu
+	q.notEmpty.L = &q.mu
+	return q
+}
+
+// Push enqueues ev according to the backpressure policy. It returns false
+// once the queue is closed (shutdown), telling the ingester to stop.
+func (q *eventQueue) Push(ev trace.Event) bool {
+	q.mu.Lock()
+	if q.policy == Block {
+		for q.n == len(q.buf) && !q.closed {
+			q.notFull.Wait()
+		}
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	if q.n == len(q.buf) { // DropOldest: make room
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		q.dropped.Add(1)
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = ev
+	q.n++
+	// Count before unlocking: the consumer may pop (and bump scored) the
+	// instant the lock drops, and scored must never exceed ingested.
+	q.ingested.Add(1)
+	q.mu.Unlock()
+	q.notEmpty.Signal()
+	return true
+}
+
+// Close stops ingestion; queued events remain consumable (the drain).
+// Idempotent.
+func (q *eventQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Next implements trace.Reader for the scoring side.
+func (q *eventQueue) Next() (trace.Event, error) {
+	q.mu.Lock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		q.mu.Unlock()
+		return trace.Event{}, io.EOF
+	}
+	ev := q.buf[q.head]
+	q.buf[q.head] = trace.Event{} // drop payload reference
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.mu.Unlock()
+	q.notFull.Signal()
+	q.scored.Add(1)
+	return ev, nil
+}
+
+// Depth reports the current queue occupancy.
+func (q *eventQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}

@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"enduratrace/internal/core"
+	"enduratrace/internal/mediasim"
+	"enduratrace/internal/perturb"
+	"enduratrace/internal/recorder"
+	"enduratrace/internal/trace"
+	"enduratrace/internal/traceio"
+	"enduratrace/internal/window"
+)
+
+// SelftestOptions configures the loopback load generator.
+type SelftestOptions struct {
+	// Cfg and Learned as in Options.
+	Cfg     core.Config
+	Learned *core.Learned
+	// Clients is the number of concurrent loopback streams (default 4).
+	Clients int
+	// Duration is each client's simulated horizon (default 30s of trace
+	// time; the wall time is however fast the wire and the model go).
+	Duration time.Duration
+	// SeedBase seeds client i with SeedBase+i (default 100).
+	SeedBase int64
+	// Factor, when > 1, perturbs each client's pipeline periodically so
+	// the streams actually contain anomalies to record.
+	Factor float64
+	// QueueLen, Backpressure, Sinks, Log as in Options.
+	QueueLen     int
+	Backpressure Backpressure
+	Sinks        recorder.SinkFactory
+	Log          io.Writer
+}
+
+// ClientReport is one loopback client's send-side accounting.
+type ClientReport struct {
+	Stream  string `json:"stream"`
+	Events  int64  `json:"events"`
+	Windows int64  `json:"windows"`
+}
+
+// SelftestReport is the end-to-end result: send-side counts, the admin
+// /stats view fetched over real HTTP, and the per-stream finals.
+type SelftestReport struct {
+	Clients     int            `json:"clients"`
+	WallS       float64        `json:"wall_s"`
+	EventsSent  int64          `json:"events_sent"`
+	WindowsSent int64          `json:"windows_sent"`
+	EventsPerS  float64        `json:"events_per_s"`
+	WindowsPerS float64        `json:"windows_per_s"`
+	Stats       StatsReport    `json:"stats"`
+	PerClient   []ClientReport `json:"per_client"`
+	Results     []StreamResult `json:"results"`
+}
+
+// Selftest starts a server on loopback, fans opts.Clients simulated
+// mediasim traces through real TCP sockets, waits for every stream to
+// drain, fetches /stats over the admin HTTP endpoint, shuts the server
+// down and cross-checks the books: the server must have scored exactly
+// the windows the clients sent, every stream must have closed cleanly,
+// and every sink must have flushed. Any mismatch is an error — this is
+// the end-to-end proof that the serving path loses nothing.
+func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 4
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 30 * time.Second
+	}
+	if opts.SeedBase == 0 {
+		opts.SeedBase = 100
+	}
+
+	srv, err := New(Options{
+		Cfg:          opts.Cfg,
+		Learned:      opts.Learned,
+		QueueLen:     opts.QueueLen,
+		Backpressure: opts.Backpressure,
+		Sinks:        opts.Sinks,
+		Log:          opts.Log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Listen("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	serveCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(serveCtx) }()
+
+	start := time.Now()
+	reports := make([]ClientReport, opts.Clients)
+	errs := make([]error, opts.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("selftest-%02d", i)
+			rep, err := runClient(srv.TraceAddr().String(), name, opts, opts.SeedBase+int64(i))
+			reports[i], errs[i] = rep, err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("serve: selftest client %d: %w", i, err)
+		}
+	}
+
+	adminURL := "http://" + srv.AdminAddr().String()
+	if err := awaitClosedStreams(ctx, adminURL, opts.Clients); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	var stats StatsReport
+	if err := getJSON(adminURL+"/stats", &stats); err != nil {
+		return nil, fmt.Errorf("serve: selftest /stats: %w", err)
+	}
+	var health healthReport
+	if err := getJSON(adminURL+"/healthz", &health); err != nil {
+		return nil, fmt.Errorf("serve: selftest /healthz: %w", err)
+	}
+	if health.Status != "ok" {
+		return nil, fmt.Errorf("serve: selftest health %q", health.Status)
+	}
+
+	cancel()
+	if err := <-serveErr; err != nil {
+		return nil, fmt.Errorf("serve: selftest server: %w", err)
+	}
+
+	rep := &SelftestReport{
+		Clients:   opts.Clients,
+		WallS:     wall.Seconds(),
+		Stats:     stats,
+		PerClient: reports,
+		Results:   srv.Results(),
+	}
+	for _, c := range reports {
+		rep.EventsSent += c.Events
+		rep.WindowsSent += c.Windows
+	}
+	if wall > 0 {
+		rep.EventsPerS = float64(rep.EventsSent) / wall.Seconds()
+		rep.WindowsPerS = float64(rep.WindowsSent) / wall.Seconds()
+	}
+
+	// The cross-check: nothing sent may be missing from the books. Under
+	// DropOldest, configured-and-counted drops legitimately lower the
+	// scored window count — the books must still balance to "not more
+	// than sent, and short only when drops are on record".
+	if opts.Backpressure == DropOldest && stats.DroppedEvents > 0 {
+		if stats.Windows > rep.WindowsSent {
+			return rep, fmt.Errorf("serve: selftest scored %d windows > %d sent",
+				stats.Windows, rep.WindowsSent)
+		}
+	} else if stats.Windows != rep.WindowsSent {
+		return rep, fmt.Errorf("serve: selftest scored %d windows, clients sent %d",
+			stats.Windows, rep.WindowsSent)
+	}
+	if stats.StreamsClosed != opts.Clients || stats.StreamsLive != 0 {
+		return rep, fmt.Errorf("serve: selftest streams closed=%d live=%d, want %d/0",
+			stats.StreamsClosed, stats.StreamsLive, opts.Clients)
+	}
+	byStream := make(map[string]ClientReport, len(reports))
+	for _, c := range reports {
+		byStream[c.Stream] = c
+	}
+	for _, res := range rep.Results {
+		c, ok := byStream[res.ID]
+		if !ok {
+			return rep, fmt.Errorf("serve: selftest unexpected stream %q", res.ID)
+		}
+		if !res.Clean {
+			return rep, fmt.Errorf("serve: selftest stream %q did not close cleanly: %s", res.ID, res.Err)
+		}
+		if res.DroppedEvents > 0 && opts.Backpressure == DropOldest {
+			if int64(res.Windows) > c.Windows {
+				return rep, fmt.Errorf("serve: selftest stream %q scored %d windows > %d sent",
+					res.ID, res.Windows, c.Windows)
+			}
+		} else if int64(res.Windows) != c.Windows {
+			return rep, fmt.Errorf("serve: selftest stream %q scored %d windows, client sent %d",
+				res.ID, res.Windows, c.Windows)
+		}
+	}
+	return rep, nil
+}
+
+// runClient streams one simulated pipeline run to the server, counting
+// events and (via a local windower identical to the server's) the windows
+// the server must end up scoring.
+func runClient(addr, name string, opts SelftestOptions, seed int64) (ClientReport, error) {
+	rep := ClientReport{Stream: name}
+	sc := mediasim.DefaultConfig()
+	sc.Duration = opts.Duration
+	sc.Seed = seed
+	if opts.Factor > 1 {
+		load, err := perturb.Periodic(opts.Factor, opts.Duration/4, opts.Duration/2,
+			opts.Duration/10, opts.Duration)
+		if err != nil {
+			return rep, err
+		}
+		sc.Load = load
+	}
+	sim, err := mediasim.New(sc)
+	if err != nil {
+		return rep, err
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return rep, err
+	}
+	defer conn.Close()
+	fw, err := traceio.NewFrameWriter(conn, name)
+	if err != nil {
+		return rep, err
+	}
+
+	// Tee: every event goes to the socket and to a local windower with the
+	// exact server-side windowing semantics (window.Stream mirrors
+	// Monitor.Run's Add/Drain/Flush loop), so the expected window count is
+	// computed, not guessed.
+	wdr := opts.Cfg.NewWindower()
+	tee := &teeReader{r: sim, w: fw, events: &rep.Events}
+	err = window.Stream(tee, wdr, func(window.Window) error {
+		rep.Windows++
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	if err := fw.Close(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// teeReader forwards every event it yields to a trace writer (the wire).
+type teeReader struct {
+	r      interface{ Next() (trace.Event, error) }
+	w      *traceio.FrameWriter
+	events *int64
+}
+
+func (t *teeReader) Next() (trace.Event, error) {
+	ev, err := t.r.Next()
+	if err != nil {
+		return ev, err
+	}
+	if err := t.w.Write(ev); err != nil {
+		return ev, err
+	}
+	*t.events++
+	return ev, nil
+}
+
+// awaitClosedStreams polls /stats until every client stream has drained
+// and closed, or the context/timeout gives up.
+func awaitClosedStreams(ctx context.Context, adminURL string, want int) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var stats StatsReport
+		if err := getJSON(adminURL+"/stats", &stats); err == nil {
+			if stats.StreamsClosed >= want && stats.StreamsLive == 0 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("serve: selftest streams did not drain within 60s")
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

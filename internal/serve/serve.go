@@ -1,0 +1,526 @@
+// Package serve is the network-facing serving layer: a long-lived daemon
+// that loads one learned model and monitors any number of live trace
+// streams pushed to it over TCP.
+//
+// The shape follows PR 3's split of the monitor into an immutable shared
+// core.Learned and mutable per-stream core.Monitors: each accepted
+// connection is one stream, with two goroutines —
+//
+//	socket ─→ traceio.FrameReader ─→ bounded eventQueue ─→ Monitor.Run ─→ Sink
+//	         (ingest goroutine)      (backpressure here)   (scoring goroutine)
+//
+// The queue is the explicit backpressure point: Block propagates a slow
+// model back to the sender through TCP flow control, DropOldest bounds
+// latency and counts the holes. Graceful shutdown stops ingestion, drains
+// every queue, flushes every recorder sink, and reports per-stream
+// RunStats; an HTTP admin listener serves /healthz, /streams and /stats
+// (the `monitor -json` report shape) throughout.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enduratrace/internal/core"
+	"enduratrace/internal/recorder"
+	"enduratrace/internal/trace"
+	"enduratrace/internal/traceio"
+	"enduratrace/internal/window"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Cfg and Learned are the monitor configuration and the shared model
+	// (typically from core.LoadModel).
+	Cfg     core.Config
+	Learned *core.Learned
+	// QueueLen bounds each stream's event queue (default 1024).
+	QueueLen int
+	// Backpressure selects the full-queue policy (default Block).
+	Backpressure Backpressure
+	// Sinks builds one recorder sink per stream (default NullFactory:
+	// stat-only serving with exact byte accounting).
+	Sinks recorder.SinkFactory
+	// DrainTimeout bounds how long shutdown waits for streams to drain
+	// before force-closing connections (default 10s).
+	DrainTimeout time.Duration
+	// Log receives serving diagnostics (default: discard).
+	Log io.Writer
+}
+
+// StreamResult is one stream's final accounting, reported after it closes.
+type StreamResult struct {
+	ID              string  `json:"id"`
+	Windows         int     `json:"windows"`
+	GateTrips       int     `json:"gate_trips"`
+	Anomalies       int     `json:"anomalies"`
+	RecordedWindows int     `json:"recorded_windows"`
+	RecordedBytes   int64   `json:"recorded_bytes"`
+	FullBytes       int64   `json:"full_bytes"`
+	DroppedEvents   int64   `json:"dropped_events"`
+	SpanS           float64 `json:"span_s"`
+	// Clean is true when the client terminated the stream with the
+	// end-of-stream marker; false for truncated connections and streams
+	// cut by server shutdown.
+	Clean bool   `json:"clean"`
+	Err   string `json:"err,omitempty"`
+}
+
+// StatsReport is the aggregate view served by /stats and returned by
+// Report — the `monitor -json` shape plus serving counters. Totals cover
+// every stream ever served (closed streams' finals plus live streams'
+// current counters).
+type StatsReport struct {
+	Windows         int64    `json:"windows"`
+	GateTrips       int64    `json:"gate_trips"`
+	LOFCalls        int64    `json:"lof_calls"`
+	Anomalies       int64    `json:"anomalies"`
+	RecordedWindows int64    `json:"recorded_windows"`
+	FullBytes       int64    `json:"full_bytes"`
+	RecordedBytes   int64    `json:"recorded_bytes"`
+	ReductionFactor *float64 `json:"reduction_factor"`
+	StreamsLive     int      `json:"streams_live"`
+	StreamsClosed   int      `json:"streams_closed"`
+	DroppedEvents   int64    `json:"dropped_events"`
+	ModelPoints     int      `json:"model_points"`
+	UptimeS         float64  `json:"uptime_s"`
+}
+
+// StreamView is one live stream's row in /streams.
+type StreamView struct {
+	core.StreamStatus
+	QueueDepth      int   `json:"queue_depth"`
+	EventsIngested  int64 `json:"events_ingested"`
+	EventsScored    int64 `json:"events_scored"`
+	DroppedEvents   int64 `json:"dropped_events"`
+	FullBytes       int64 `json:"full_bytes"`
+	RecordedBytes   int64 `json:"recorded_bytes"`
+	RecordedWindows int64 `json:"recorded_windows"`
+}
+
+// stream is the server-side state of one live connection.
+type stream struct {
+	h         *core.StreamHandle
+	q         *eventQueue
+	sink      *liveSink
+	conn      net.Conn
+	fullBytes atomic.Int64
+}
+
+// ioTotals accumulates the byte-level counters of closed streams (the
+// monitor counters live in the core.StreamRegistry).
+type ioTotals struct {
+	fullBytes  int64
+	recBytes   int64
+	recWindows int64
+	dropped    int64
+}
+
+// Server is the serving daemon. Build with New, bind with Listen, then
+// Serve until the context is cancelled; Results/Report read the final
+// accounting afterwards.
+type Server struct {
+	opts  Options
+	reg   *core.StreamRegistry
+	log   *log.Logger
+	start time.Time
+
+	traceLn net.Listener
+	adminLn net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	streams  map[string]*stream
+	results  []StreamResult
+	closed   ioTotals
+	shutdown bool
+
+	wg sync.WaitGroup
+}
+
+// New validates the options and builds a server (not yet listening).
+func New(opts Options) (*Server, error) {
+	reg, err := core.NewStreamRegistry(opts.Cfg, opts.Learned)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Sinks == nil {
+		opts.Sinks = recorder.NullFactory()
+	}
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = 1024
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 10 * time.Second
+	}
+	logw := opts.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	return &Server{
+		opts:    opts,
+		reg:     reg,
+		log:     log.New(logw, "serve: ", 0),
+		start:   time.Now(),
+		conns:   make(map[net.Conn]struct{}),
+		streams: make(map[string]*stream),
+	}, nil
+}
+
+// Listen binds the trace ingestion listener and, when adminAddr is
+// non-empty, the HTTP admin listener. Use port 0 for ephemeral ports and
+// TraceAddr/AdminAddr to discover them.
+func (s *Server) Listen(traceAddr, adminAddr string) error {
+	ln, err := net.Listen("tcp", traceAddr)
+	if err != nil {
+		return fmt.Errorf("serve: trace listener: %w", err)
+	}
+	s.traceLn = ln
+	if adminAddr != "" {
+		aln, err := net.Listen("tcp", adminAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("serve: admin listener: %w", err)
+		}
+		s.adminLn = aln
+	}
+	return nil
+}
+
+// TraceAddr returns the bound trace listener address.
+func (s *Server) TraceAddr() net.Addr { return s.traceLn.Addr() }
+
+// AdminAddr returns the bound admin listener address (nil when admin is
+// disabled).
+func (s *Server) AdminAddr() net.Addr {
+	if s.adminLn == nil {
+		return nil
+	}
+	return s.adminLn.Addr()
+}
+
+// Serve accepts and monitors streams until ctx is cancelled, then shuts
+// down gracefully: stop accepting, stop ingesting, drain every stream's
+// queue, flush and close every sink. It returns once every stream has
+// finished (or DrainTimeout forced the stragglers).
+func (s *Server) Serve(ctx context.Context) error {
+	if s.traceLn == nil {
+		return errors.New("serve: Serve before Listen")
+	}
+	acceptErr := make(chan error, 1)
+	go func() { acceptErr <- s.acceptLoop() }()
+	if s.adminLn != nil {
+		go s.serveAdmin()
+	}
+
+	var err error
+	select {
+	case <-ctx.Done():
+	case err = <-acceptErr:
+	}
+	s.beginShutdown()
+	if err == nil {
+		// Wait for the accept loop to observe the closed listener.
+		if aerr := <-acceptErr; aerr != nil {
+			err = aerr
+		}
+	}
+	s.drain()
+	if s.adminLn != nil {
+		s.adminLn.Close()
+	}
+	return err
+}
+
+func (s *Server) acceptLoop() error {
+	for {
+		conn, err := s.traceLn.Accept()
+		if err != nil {
+			if s.isShuttingDown() {
+				return nil
+			}
+			return fmt.Errorf("serve: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Server) isShuttingDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shutdown
+}
+
+// beginShutdown stops accepting and unblocks every ingest read; the
+// already-decoded and queued events still get scored (the drain).
+func (s *Server) beginShutdown() {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return
+	}
+	s.shutdown = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.traceLn.Close()
+	for _, c := range conns {
+		// Expire reads instead of closing: the ingest goroutine wakes with
+		// a deadline error and closes its queue, and the scorer drains.
+		c.SetReadDeadline(time.Now())
+	}
+}
+
+// drain waits for every stream handler; after DrainTimeout the remaining
+// connections are force-closed (their scorers still finish their queues).
+func (s *Server) drain() {
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return
+	case <-time.After(s.opts.DrainTimeout):
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-done
+}
+
+// handleConn runs one stream: decode frames off the socket into the
+// bounded queue while the monitor scores the other end of it.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	fr, err := traceio.NewFrameReader(conn)
+	if err != nil {
+		s.log.Printf("%s: rejected: %v", conn.RemoteAddr(), err)
+		return
+	}
+	h, err := s.reg.Register(fr.StreamName())
+	if err != nil {
+		s.log.Printf("%s: register: %v", conn.RemoteAddr(), err)
+		return
+	}
+	sink, err := s.opts.Sinks(h.ID())
+	if err != nil {
+		s.log.Printf("%s: sink: %v", h.ID(), err)
+		h.Close()
+		return
+	}
+	ls := &liveSink{inner: sink}
+	st := &stream{
+		h:    h,
+		q:    newEventQueue(s.opts.QueueLen, s.opts.Backpressure),
+		sink: ls,
+		conn: conn,
+	}
+	st.fullBytes.Store(int64(traceio.HeaderSize()))
+	s.mu.Lock()
+	s.streams[h.ID()] = st
+	s.mu.Unlock()
+	s.log.Printf("%s: stream opened from %s", h.ID(), conn.RemoteAddr())
+
+	ingestErr := make(chan error, 1)
+	go func() {
+		var prev time.Duration
+		first := true
+		var err error
+		for {
+			var ev trace.Event
+			ev, err = fr.Next()
+			if err != nil {
+				break
+			}
+			st.fullBytes.Add(int64(traceio.EncodedSize(ev, prev, first)))
+			prev, first = ev.TS, false
+			if !st.q.Push(ev) {
+				err = nil // queue closed by shutdown
+				break
+			}
+		}
+		if err == io.EOF {
+			err = nil
+		}
+		h.SetState(core.StreamDraining)
+		st.q.Close()
+		ingestErr <- err
+	}()
+
+	// The ingest loop already accounts received bytes (including events a
+	// DropOldest queue sheds before scoring); don't pay for it twice.
+	h.Monitor().DisableByteAccounting()
+	stats, runErr := h.Monitor().Run(st.q, ls, nil)
+	// Close the queue before joining the ingester: if Run exited early (a
+	// sink error), the ingest goroutine may be parked in a Block-policy
+	// Push with nobody left to consume — Close (idempotent) unparks it.
+	st.q.Close()
+	ierr := <-ingestErr
+	closeErr := ls.Close()
+
+	clean := ierr == nil && runErr == nil && closeErr == nil
+	var errMsg string
+	for _, e := range []error{runErr, closeErr, ierr} {
+		if e == nil {
+			continue
+		}
+		if errors.Is(e, os.ErrDeadlineExceeded) && s.isShuttingDown() {
+			// Shutdown cut the stream: not clean, but not a failure.
+			clean = false
+			continue
+		}
+		errMsg = e.Error()
+		clean = false
+		break
+	}
+
+	res := StreamResult{
+		ID:              h.ID(),
+		Windows:         stats.Windows,
+		GateTrips:       stats.GateTrips,
+		Anomalies:       stats.Anomalies,
+		RecordedWindows: ls.inner.WindowsRecorded(),
+		RecordedBytes:   ls.inner.BytesWritten(),
+		FullBytes:       st.fullBytes.Load(),
+		DroppedEvents:   st.q.dropped.Load(),
+		SpanS:           (stats.End - stats.Start).Seconds(),
+		Clean:           clean,
+		Err:             errMsg,
+	}
+	s.mu.Lock()
+	delete(s.streams, h.ID())
+	s.results = append(s.results, res)
+	s.closed.fullBytes += res.FullBytes
+	s.closed.recBytes += res.RecordedBytes
+	s.closed.recWindows += int64(res.RecordedWindows)
+	s.closed.dropped += res.DroppedEvents
+	s.mu.Unlock()
+	h.Close()
+	s.log.Printf("%s: stream closed: %d windows, %d anomalies, %d B recorded (clean=%v)",
+		h.ID(), res.Windows, res.Anomalies, res.RecordedBytes, clean)
+}
+
+// Stats assembles the live aggregate report (served by /stats). Safe to
+// call at any time, including mid-serve.
+func (s *Server) Stats() StatsReport {
+	total, live, closed := s.reg.Totals()
+	rep := StatsReport{
+		Windows:       total.Windows,
+		GateTrips:     total.GateTrips,
+		LOFCalls:      total.LOFCalls,
+		Anomalies:     total.Anomalies,
+		StreamsLive:   live,
+		StreamsClosed: closed,
+		ModelPoints:   s.opts.Learned.Model.Len(),
+		UptimeS:       time.Since(s.start).Seconds(),
+	}
+	s.mu.Lock()
+	rep.FullBytes = s.closed.fullBytes
+	rep.RecordedBytes = s.closed.recBytes
+	rep.RecordedWindows = s.closed.recWindows
+	rep.DroppedEvents = s.closed.dropped
+	for _, st := range s.streams {
+		rep.FullBytes += st.fullBytes.Load()
+		rep.RecordedBytes += st.sink.bytes.Load()
+		rep.RecordedWindows += st.sink.windows.Load()
+		rep.DroppedEvents += st.q.dropped.Load()
+	}
+	s.mu.Unlock()
+	if rep.RecordedBytes > 0 {
+		rf := float64(rep.FullBytes) / float64(rep.RecordedBytes)
+		rep.ReductionFactor = &rf
+	}
+	return rep
+}
+
+// Streams lists the live streams with queue and sink counters (served by
+// /streams).
+func (s *Server) Streams() []StreamView {
+	statuses := s.reg.Streams()
+	out := make([]StreamView, 0, len(statuses))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, status := range statuses {
+		st, ok := s.streams[status.ID]
+		if !ok {
+			continue // closed between the registry and server snapshots
+		}
+		out = append(out, StreamView{
+			StreamStatus:    status,
+			QueueDepth:      st.q.Depth(),
+			EventsIngested:  st.q.ingested.Load(),
+			EventsScored:    st.q.scored.Load(),
+			DroppedEvents:   st.q.dropped.Load(),
+			FullBytes:       st.fullBytes.Load(),
+			RecordedBytes:   st.sink.bytes.Load(),
+			RecordedWindows: st.sink.windows.Load(),
+		})
+	}
+	return out
+}
+
+// Results returns the per-stream final accounting, in close order. Call
+// after Serve returns (streams still live are not included).
+func (s *Server) Results() []StreamResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StreamResult, len(s.results))
+	copy(out, s.results)
+	return out
+}
+
+// liveSink decorates a recorder.Sink with atomically readable byte and
+// window counters so admin endpoints can observe a stream's recording
+// while its scoring goroutine owns the sink.
+type liveSink struct {
+	inner   recorder.Sink
+	bytes   atomic.Int64
+	windows atomic.Int64
+}
+
+func (s *liveSink) Record(w window.Window) error {
+	err := s.inner.Record(w)
+	s.bytes.Store(s.inner.BytesWritten())
+	s.windows.Store(int64(s.inner.WindowsRecorded()))
+	return err
+}
+
+func (s *liveSink) Close() error {
+	err := s.inner.Close()
+	// Exact only now for compressing sinks, which buffer until Close.
+	s.bytes.Store(s.inner.BytesWritten())
+	s.windows.Store(int64(s.inner.WindowsRecorded()))
+	return err
+}
+
+func (s *liveSink) BytesWritten() int64  { return s.inner.BytesWritten() }
+func (s *liveSink) WindowsRecorded() int { return s.inner.WindowsRecorded() }

@@ -43,13 +43,38 @@ const (
 // ErrBadMagic is returned when a stream does not start with the trace magic.
 var ErrBadMagic = errors.New("traceio: bad magic, not an enduratrace binary stream")
 
+// deltaTS validates timestamp monotonicity and returns the delta encoded
+// for ev given the stream's previous timestamp (the absolute timestamp
+// for the first event). Shared by the plain and framed writers so the
+// wire layout is defined once.
+func deltaTS(ev trace.Event, last time.Duration, started bool) (uint64, error) {
+	if started && ev.TS < last {
+		return 0, fmt.Errorf("%w: %v after %v", trace.ErrOutOfOrder, ev.TS, last)
+	}
+	if !started {
+		return uint64(ev.TS), nil
+	}
+	return uint64(ev.TS - last), nil
+}
+
+// appendEventHeader appends the four uvarints of one encoded event (dts,
+// type, arg, payload length); the payload bytes follow separately. This
+// is the event wire layout — both codecs and EncodedSize must agree with
+// it.
+func appendEventHeader(buf []byte, dts uint64, ev trace.Event) []byte {
+	buf = binary.AppendUvarint(buf, dts)
+	buf = binary.AppendUvarint(buf, uint64(ev.Type))
+	buf = binary.AppendUvarint(buf, ev.Arg)
+	return binary.AppendUvarint(buf, uint64(len(ev.Payload)))
+}
+
 // BinaryWriter encodes events to an io.Writer in the binary trace format.
 type BinaryWriter struct {
 	w       *bufio.Writer
 	n       int64
 	last    time.Duration
 	started bool
-	scratch [2 * binary.MaxVarintLen64]byte
+	scratch [4 * binary.MaxVarintLen64]byte
 }
 
 // NewBinaryWriter creates a writer and emits the stream header.
@@ -69,26 +94,14 @@ func NewBinaryWriter(w io.Writer) (*BinaryWriter, error) {
 
 // Write implements trace.Writer.
 func (bw *BinaryWriter) Write(ev trace.Event) error {
-	if bw.started && ev.TS < bw.last {
-		return fmt.Errorf("%w: %v after %v", trace.ErrOutOfOrder, ev.TS, bw.last)
-	}
-	dts := uint64(ev.TS - bw.last)
-	if !bw.started {
-		dts = uint64(ev.TS)
-		bw.started = true
-	}
-	bw.last = ev.TS
-
-	buf := bw.scratch[:0]
-	buf = binary.AppendUvarint(buf, dts)
-	buf = binary.AppendUvarint(buf, uint64(ev.Type))
-	if _, err := bw.w.Write(buf); err != nil {
+	dts, err := deltaTS(ev, bw.last, bw.started)
+	if err != nil {
 		return err
 	}
-	bw.n += int64(len(buf))
-	buf = bw.scratch[:0]
-	buf = binary.AppendUvarint(buf, ev.Arg)
-	buf = binary.AppendUvarint(buf, uint64(len(ev.Payload)))
+	bw.started = true
+	bw.last = ev.TS
+
+	buf := appendEventHeader(bw.scratch[:0], dts, ev)
 	if _, err := bw.w.Write(buf); err != nil {
 		return err
 	}

@@ -1,0 +1,266 @@
+package traceio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"enduratrace/internal/trace"
+)
+
+// Framed stream format (version 1) — the network transport used by
+// `enduratrace serve`. A framed stream is the binary event codec cut into
+// length-prefixed frames so a receiver can make progress (and apply
+// backpressure) at frame granularity instead of waiting for EOF, which a
+// long-lived monitoring connection never reaches:
+//
+//	magic   "ETRS"            4 bytes
+//	version uvarint           (currently 1)
+//	nlen    uvarint           stream-name length (may be 0)
+//	name    nlen bytes        client-chosen stream name (sink naming)
+//	frames  *                 repeated
+//
+// each frame:
+//
+//	flen    uvarint           payload length; 0 marks clean end-of-stream
+//	payload flen bytes        binary-codec events (see binary.go, no header)
+//
+// Timestamp delta-encoding continues across frame boundaries, so framing
+// adds ~1 byte per frame over the plain binary codec. A stream that ends
+// without the zero-length end frame was truncated (the peer died or the
+// connection broke); FrameReader reports that as io.ErrUnexpectedEOF
+// rather than a clean EOF, so the server can tell drained streams from
+// dropped ones.
+
+const (
+	frameMagic    = "ETRS"
+	frameVersion  = 1
+	maxFrameSize  = 1 << 24 // sanity bound when decoding
+	maxStreamName = 256
+	// DefaultFrameBytes is the auto-flush threshold of FrameWriter: a frame
+	// is emitted once its payload reaches this size (callers can still
+	// Flush earlier for latency).
+	DefaultFrameBytes = 32 << 10
+)
+
+// ErrBadFrameMagic is returned when a stream does not start with the framed
+// stream magic.
+var ErrBadFrameMagic = errors.New("traceio: bad magic, not an enduratrace framed stream")
+
+// FrameWriter encodes events into length-prefixed frames on an io.Writer
+// (typically a net.Conn). It is the client half of the serve protocol.
+type FrameWriter struct {
+	w       *bufio.Writer
+	frame   bytes.Buffer
+	last    time.Duration
+	started bool
+	closed  bool
+	scratch [binary.MaxVarintLen64]byte
+	// FrameBytes is the auto-flush threshold; zero means DefaultFrameBytes.
+	FrameBytes int
+}
+
+// NewFrameWriter emits the stream header (with the client-chosen stream
+// name, which the server uses to label per-stream sinks) and returns the
+// writer. An empty name is allowed; the server then assigns one.
+func NewFrameWriter(w io.Writer, name string) (*FrameWriter, error) {
+	if len(name) > maxStreamName {
+		return nil, fmt.Errorf("traceio: stream name %d bytes exceeds %d", len(name), maxStreamName)
+	}
+	fw := &FrameWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := fw.w.WriteString(frameMagic); err != nil {
+		return nil, err
+	}
+	n := binary.PutUvarint(fw.scratch[:], frameVersion)
+	if _, err := fw.w.Write(fw.scratch[:n]); err != nil {
+		return nil, err
+	}
+	n = binary.PutUvarint(fw.scratch[:], uint64(len(name)))
+	if _, err := fw.w.Write(fw.scratch[:n]); err != nil {
+		return nil, err
+	}
+	if _, err := fw.w.WriteString(name); err != nil {
+		return nil, err
+	}
+	return fw, nil
+}
+
+// Write implements trace.Writer: the event is appended to the current
+// frame, which is emitted automatically once it reaches FrameBytes.
+func (fw *FrameWriter) Write(ev trace.Event) error {
+	if fw.closed {
+		return errors.New("traceio: write on closed frame stream")
+	}
+	dts, err := deltaTS(ev, fw.last, fw.started)
+	if err != nil {
+		return err
+	}
+	fw.started = true
+	fw.last = ev.TS
+
+	var buf [4 * binary.MaxVarintLen64]byte
+	fw.frame.Write(appendEventHeader(buf[:0], dts, ev))
+	fw.frame.Write(ev.Payload)
+
+	limit := fw.FrameBytes
+	if limit <= 0 {
+		limit = DefaultFrameBytes
+	}
+	if fw.frame.Len() >= limit {
+		return fw.Flush()
+	}
+	return nil
+}
+
+// Flush emits the pending frame (if any) and flushes the underlying
+// writer. Call it to bound the latency of a slow trickle of events.
+func (fw *FrameWriter) Flush() error {
+	if fw.frame.Len() > 0 {
+		n := binary.PutUvarint(fw.scratch[:], uint64(fw.frame.Len()))
+		if _, err := fw.w.Write(fw.scratch[:n]); err != nil {
+			return err
+		}
+		if _, err := fw.w.Write(fw.frame.Bytes()); err != nil {
+			return err
+		}
+		fw.frame.Reset()
+	}
+	return fw.w.Flush()
+}
+
+// Close flushes pending events and writes the end-of-stream marker. The
+// underlying writer (e.g. the socket) is not closed. Close is idempotent.
+func (fw *FrameWriter) Close() error {
+	if fw.closed {
+		return nil
+	}
+	if err := fw.Flush(); err != nil {
+		return err
+	}
+	fw.closed = true
+	n := binary.PutUvarint(fw.scratch[:], 0)
+	if _, err := fw.w.Write(fw.scratch[:n]); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// FrameReader decodes a framed stream; it implements trace.Reader. Next
+// returns io.EOF only on a clean end-of-stream marker; a connection that
+// dies mid-stream yields io.ErrUnexpectedEOF.
+type FrameReader struct {
+	r     *bufio.Reader
+	frame bytes.Reader
+	buf   []byte
+	name  string
+	last  time.Duration
+	err   error
+}
+
+// NewFrameReader validates the header and returns the reader.
+func NewFrameReader(r io.Reader) (*FrameReader, error) {
+	fr := &FrameReader{r: bufio.NewReaderSize(r, 1<<16)}
+	head := make([]byte, len(frameMagic))
+	if _, err := io.ReadFull(fr.r, head); err != nil {
+		return nil, fmt.Errorf("traceio: reading frame header: %w", err)
+	}
+	if string(head) != frameMagic {
+		return nil, ErrBadFrameMagic
+	}
+	v, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return nil, fmt.Errorf("traceio: reading frame version: %w", unexpectedEOF(err))
+	}
+	if v != frameVersion {
+		return nil, fmt.Errorf("traceio: unsupported framed stream version %d", v)
+	}
+	nlen, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return nil, fmt.Errorf("traceio: reading stream-name length: %w", unexpectedEOF(err))
+	}
+	if nlen > maxStreamName {
+		return nil, fmt.Errorf("traceio: stream name %d bytes exceeds %d", nlen, maxStreamName)
+	}
+	if nlen > 0 {
+		name := make([]byte, nlen)
+		if _, err := io.ReadFull(fr.r, name); err != nil {
+			return nil, fmt.Errorf("traceio: reading stream name: %w", unexpectedEOF(err))
+		}
+		fr.name = string(name)
+	}
+	return fr, nil
+}
+
+// StreamName returns the client-chosen stream name from the header ("" if
+// the client sent none).
+func (fr *FrameReader) StreamName() string { return fr.name }
+
+// Next implements trace.Reader.
+func (fr *FrameReader) Next() (trace.Event, error) {
+	if fr.err != nil {
+		return trace.Event{}, fr.err
+	}
+	for fr.frame.Len() == 0 {
+		flen, err := binary.ReadUvarint(fr.r)
+		if err != nil {
+			// EOF between frames without the end marker: truncated.
+			fr.err = fmt.Errorf("traceio: stream truncated mid-frame: %w", unexpectedEOF(err))
+			return trace.Event{}, fr.err
+		}
+		if flen == 0 {
+			fr.err = io.EOF
+			return trace.Event{}, io.EOF
+		}
+		if flen > maxFrameSize {
+			fr.err = fmt.Errorf("traceio: frame length %d exceeds limit", flen)
+			return trace.Event{}, fr.err
+		}
+		if cap(fr.buf) < int(flen) {
+			fr.buf = make([]byte, flen)
+		}
+		fr.buf = fr.buf[:flen]
+		if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+			fr.err = fmt.Errorf("traceio: reading frame payload: %w", unexpectedEOF(err))
+			return trace.Event{}, fr.err
+		}
+		fr.frame.Reset(fr.buf)
+	}
+	dts, err := binary.ReadUvarint(&fr.frame)
+	if err != nil {
+		return trace.Event{}, fr.fail("dts", err)
+	}
+	typ, err := binary.ReadUvarint(&fr.frame)
+	if err != nil {
+		return trace.Event{}, fr.fail("type", err)
+	}
+	arg, err := binary.ReadUvarint(&fr.frame)
+	if err != nil {
+		return trace.Event{}, fr.fail("arg", err)
+	}
+	plen, err := binary.ReadUvarint(&fr.frame)
+	if err != nil {
+		return trace.Event{}, fr.fail("payload length", err)
+	}
+	if plen > maxPayloadSize {
+		fr.err = fmt.Errorf("traceio: payload length %d exceeds limit", plen)
+		return trace.Event{}, fr.err
+	}
+	var payload []byte
+	if plen > 0 {
+		payload = make([]byte, plen)
+		if _, err := io.ReadFull(&fr.frame, payload); err != nil {
+			return trace.Event{}, fr.fail("payload", err)
+		}
+	}
+	fr.last += time.Duration(dts)
+	return trace.Event{TS: fr.last, Type: trace.EventType(typ), Arg: arg, Payload: payload}, nil
+}
+
+func (fr *FrameReader) fail(what string, err error) error {
+	fr.err = fmt.Errorf("traceio: reading frame event %s: %w", what, unexpectedEOF(err))
+	return fr.err
+}

@@ -1,0 +1,198 @@
+package traceio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"enduratrace/internal/trace"
+)
+
+func randomEvents(n int, seed int64) []trace.Event {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]trace.Event, n)
+	ts := time.Duration(0)
+	for i := range evs {
+		ts += time.Duration(rng.Intn(1_000_000))
+		var payload []byte
+		if rng.Intn(3) == 0 {
+			payload = make([]byte, rng.Intn(64))
+			rng.Read(payload)
+		}
+		evs[i] = trace.Event{
+			TS:      ts,
+			Type:    trace.EventType(rng.Intn(30)),
+			Arg:     uint64(rng.Intn(1 << 20)),
+			Payload: payload,
+		}
+	}
+	return evs
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	evs := randomEvents(500, 7)
+	var buf bytes.Buffer
+	fw, err := NewFrameWriter(&buf, "cam-03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.FrameBytes = 256 // force many frames
+	for i, ev := range evs {
+		if err := fw.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+		if i == 100 {
+			// An explicit mid-stream flush must not corrupt anything.
+			if err := fw.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	fr, err := NewFrameReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.StreamName() != "cam-03" {
+		t.Fatalf("stream name %q, want cam-03", fr.StreamName())
+	}
+	got, err := trace.ReadAll(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i].TS != evs[i].TS || got[i].Type != evs[i].Type ||
+			got[i].Arg != evs[i].Arg || !bytes.Equal(got[i].Payload, evs[i].Payload) {
+			t.Fatalf("event %d mismatch: got %v want %v", i, got[i], evs[i])
+		}
+	}
+	// After clean EOF, Next keeps returning io.EOF.
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFrameWriter(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFrameReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.StreamName() != "" {
+		t.Fatalf("stream name %q, want empty", fr.StreamName())
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("Next on empty stream: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncationDetected(t *testing.T) {
+	evs := randomEvents(50, 3)
+	var buf bytes.Buffer
+	fw, err := NewFrameWriter(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if err := fw.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flush the frame but never Close: no end-of-stream marker.
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	fr, err := NewFrameReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	var lastErr error
+	for {
+		_, err := fr.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+		n++
+	}
+	if n != len(evs) {
+		t.Fatalf("decoded %d events before truncation, want %d", n, len(evs))
+	}
+	if lastErr == io.EOF || !errors.Is(lastErr, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated stream error %v, want io.ErrUnexpectedEOF (not clean EOF)", lastErr)
+	}
+}
+
+func TestFrameBadMagic(t *testing.T) {
+	if _, err := NewFrameReader(bytes.NewReader([]byte("ETRCxxxx"))); !errors.Is(err, ErrBadFrameMagic) {
+		t.Fatalf("error %v, want ErrBadFrameMagic", err)
+	}
+}
+
+func TestFrameOutOfOrderRejected(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFrameWriter(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Write(trace.Event{TS: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Write(trace.Event{TS: 50}); !errors.Is(err, trace.ErrOutOfOrder) {
+		t.Fatalf("error %v, want trace.ErrOutOfOrder", err)
+	}
+}
+
+func TestFrameDeltaAcrossFrames(t *testing.T) {
+	// Timestamp deltas must survive a frame boundary: write two events in
+	// two explicitly flushed frames and check the second timestamp.
+	var buf bytes.Buffer
+	fw, err := NewFrameWriter(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Write(trace.Event{TS: 1000, Type: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Write(trace.Event{TS: 2500, Type: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFrameReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := trace.ReadAll(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].TS != 1000 || evs[1].TS != 2500 {
+		t.Fatalf("decoded %v, want TS 1000 and 2500", evs)
+	}
+}
