@@ -114,15 +114,7 @@ func cmdLearn(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*modelOut)
-	if err != nil {
-		return err
-	}
-	if err := core.SaveModel(f, cfg, learned); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := core.SaveModelFile(*modelOut, cfg, learned); err != nil {
 		return err
 	}
 

@@ -69,7 +69,9 @@ subcommands:
   soak     run one long-horizon cell with periodic progress and
            constant-memory streaming scoring
   serve    long-lived daemon: accept live trace streams over TCP, score
-           them against one shared model, expose an HTTP admin endpoint
+           each against a registry of named models (hot-reloadable via
+           SIGHUP or POST /reload), expose HTTP admin + Prometheus
+           /metrics endpoints
 
 run 'enduratrace <subcommand> -h' for per-subcommand flags, or see
 docs/CLI.md for the full reference.

@@ -34,12 +34,7 @@ func cmdMonitor(args []string) error {
 		return fmt.Errorf("monitor: -streams must be >= 1, got %d", *streams)
 	}
 
-	mf, err := os.Open(*modelIn)
-	if err != nil {
-		return err
-	}
-	cfg, learned, err := core.LoadModel(mf)
-	mf.Close()
+	cfg, learned, err := core.LoadModelFile(*modelIn)
 	if err != nil {
 		return err
 	}

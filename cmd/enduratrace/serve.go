@@ -2,10 +2,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -18,16 +21,19 @@ import (
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("enduratrace serve", flag.ContinueOnError)
-	modelIn := fs.String("model", "model.json", "learned model file (from 'enduratrace learn')")
+	modelIn := fs.String("model", "model.json", "learned model file (from 'enduratrace learn'; single-model serving)")
+	modelsDir := fs.String("models", "", "directory of model JSON files served as a named registry (overrides -model; model name = file base name)")
+	defaultModel := fs.String("default-model", "", "registry model served to streams that do not name one (required when -models holds several)")
 	listen := fs.String("listen", "127.0.0.1:9464", "trace ingestion TCP address")
-	admin := fs.String("admin", "127.0.0.1:9465", "HTTP admin address (/healthz /streams /stats; '' disables)")
+	admin := fs.String("admin", "127.0.0.1:9465", "HTTP admin address (/healthz /streams /stats /metrics, POST /reload; '' disables)")
 	recDir := fs.String("rec-dir", "", "record each stream's anomalous windows to <dir>/<stream>.etrc ('' = stat-only)")
 	compress := fs.Int("compress", -1, "flate level for -rec-dir sinks (-1 = no compression)")
 	queue := fs.Int("queue", 1024, "per-stream bounded event queue length")
 	bp := fs.String("backpressure", "block", "full-queue policy: block (TCP backpressure) or drop-oldest")
-	alpha := fs.Float64("alpha", 0, "override the model's LOF threshold (0 = keep)")
+	alpha := fs.Float64("alpha", 0, "override the model's LOF threshold (0 = keep; single-model and in-process selftest only)")
 	jsonOut := fs.Bool("json", false, "print the final report as JSON on stdout")
 	selftest := fs.Bool("selftest", false, "loopback load test: fan simulated clients through real sockets, verify the books, exit")
+	selftestModels := fs.Int("selftest-models", 1, "selftest: in-process models to learn when no -models dir is given (2 = two-model registry exercising per-stream model selection and a mid-run reload)")
 	clients := fs.Int("clients", 8, "selftest: number of concurrent loopback clients")
 	clientDur := fs.Duration("client-duration", 30*time.Second, "selftest: simulated trace time per client")
 	clientSeed := fs.Int64("client-seed", 100, "selftest: client i simulates seed client-seed+i")
@@ -48,16 +54,25 @@ func cmdServe(args []string) error {
 		}
 	}
 
-	cfg, learned, err := serveModel(*modelIn, *selftest, *refDur)
+	models, cleanup, err := serveRegistry(serveRegistryOptions{
+		modelsDir:      *modelsDir,
+		defaultModel:   *defaultModel,
+		modelFile:      *modelIn,
+		selftest:       *selftest,
+		selftestModels: *selftestModels,
+		refDur:         *refDur,
+		alpha:          *alpha,
+	})
 	if err != nil {
 		return err
 	}
-	if *alpha > 0 {
-		cfg.Alpha = *alpha
+	if cleanup != nil {
+		defer cleanup()
 	}
 
 	if *selftest {
-		return serveSelftest(cfg, learned, serve.SelftestOptions{
+		opts := serve.SelftestOptions{
+			Models:       models,
 			Clients:      *clients,
 			Duration:     *clientDur,
 			SeedBase:     *clientSeed,
@@ -66,12 +81,19 @@ func cmdServe(args []string) error {
 			Backpressure: policy,
 			Sinks:        sinks,
 			Log:          os.Stderr,
-		}, *jsonOut)
+		}
+		if models.Len() > 1 {
+			// Exercise the whole matrix: one v1-framed client on the
+			// default model, the rest naming each registry model in turn,
+			// with a hot reload fired while everything is mid-stream.
+			opts.ClientModels = append([]string{""}, models.Names()...)
+			opts.ReloadMidRun = true
+		}
+		return serveSelftest(opts, *jsonOut)
 	}
 
 	srv, err := serve.New(serve.Options{
-		Cfg:          cfg,
-		Learned:      learned,
+		Models:       models,
 		QueueLen:     *queue,
 		Backpressure: policy,
 		Sinks:        sinks,
@@ -83,14 +105,31 @@ func cmdServe(args []string) error {
 	if err := srv.Listen(*listen, *admin); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "serve: %d-point model, trace ingest on %s", learned.Model.Len(), srv.TraceAddr())
+	fmt.Fprintf(os.Stderr, "serve: %d model(s) [%s], default %q, trace ingest on %s",
+		models.Len(), strings.Join(models.Names(), " "), models.DefaultName(), srv.TraceAddr())
 	if a := srv.AdminAddr(); a != nil {
 		fmt.Fprintf(os.Stderr, ", admin on http://%s", a)
 	}
-	fmt.Fprintf(os.Stderr, " (backpressure %s, queue %d); SIGINT to drain and stop\n", policy, *queue)
+	reloadHint := ""
+	if models.Reloadable() {
+		reloadHint = "SIGHUP or POST /reload to hot-reload models, "
+	}
+	fmt.Fprintf(os.Stderr, " (backpressure %s, queue %d); %sSIGINT to drain and stop\n", policy, *queue, reloadHint)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if models.Reloadable() {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				if _, err := srv.Reload(); err != nil {
+					fmt.Fprintf(os.Stderr, "serve: SIGHUP reload: %v\n", err)
+				}
+			}
+		}()
+	}
 	if err := srv.Serve(ctx); err != nil {
 		return err
 	}
@@ -99,8 +138,8 @@ func cmdServe(args []string) error {
 	stats := srv.Stats()
 	for _, res := range results {
 		fmt.Fprintf(os.Stderr,
-			"serve: stream %-16s %7d windows, %5d trips, %4d anomalies, %d B recorded (clean=%v)\n",
-			res.ID, res.Windows, res.GateTrips, res.Anomalies, res.RecordedBytes, res.Clean)
+			"serve: stream %-16s %7d windows, %5d trips, %4d anomalies, %d B recorded (model %s, clean=%v)\n",
+			res.ID, res.Windows, res.GateTrips, res.Anomalies, res.RecordedBytes, res.Model, res.Clean)
 	}
 	fmt.Fprintf(os.Stderr,
 		"serve: %d streams served: %d windows, %d gate trips, %d anomalies, recorded %d of %d bytes (reduction %s)\n",
@@ -115,22 +154,102 @@ func cmdServe(args []string) error {
 	return nil
 }
 
-// serveModel loads the model file, or — in selftest mode when the file is
-// absent — learns one in-process from a clean simulated reference so the
-// selftest is runnable from a bare checkout.
-func serveModel(path string, selftest bool, refDur time.Duration) (core.Config, *core.Learned, error) {
-	f, err := os.Open(path)
+type serveRegistryOptions struct {
+	modelsDir      string
+	defaultModel   string
+	modelFile      string
+	selftest       bool
+	selftestModels int
+	refDur         time.Duration
+	alpha          float64
+}
+
+// serveRegistry assembles the model registry the daemon serves from, in
+// precedence order: an explicit -models directory (hot-reloadable), the
+// selftest's in-process multi-model temp directory, a single -model file,
+// or — selftest only — a single model learned in-process from a clean
+// simulated reference so the selftest runs from a bare checkout. The
+// returned cleanup (possibly nil) removes any temp directory.
+func serveRegistry(o serveRegistryOptions) (*core.ModelRegistry, func(), error) {
+	if o.modelsDir != "" {
+		if o.alpha > 0 {
+			return nil, nil, fmt.Errorf("serve: -alpha cannot override a -models registry; set alpha per model file")
+		}
+		reg, err := core.LoadModelDir(o.modelsDir, o.defaultModel)
+		return reg, nil, err
+	}
+
+	if o.selftest && o.selftestModels > 1 {
+		return selftestModelDir(o)
+	}
+
+	cfg, learned, err := core.LoadModelFile(o.modelFile)
 	if err == nil {
-		defer f.Close()
-		return core.LoadModel(f)
+		if o.alpha > 0 {
+			cfg.Alpha = o.alpha
+		}
+		reg, err := core.NewModelRegistry("",
+			&core.NamedModel{Name: "default", Cfg: cfg, Learned: learned})
+		return reg, nil, err
 	}
-	if !selftest || !os.IsNotExist(err) {
-		return core.Config{}, nil, err
+	if !o.selftest || !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
 	}
-	fmt.Fprintf(os.Stderr, "serve: no model at %s, learning in-process from a %v clean reference\n", path, refDur)
+	fmt.Fprintf(os.Stderr, "serve: no model at %s, learning in-process from a %v clean reference\n", o.modelFile, o.refDur)
+	cfg, learned, err = learnInProcess(1, o.refDur, o.alpha)
+	if err != nil {
+		return nil, nil, err
+	}
+	reg, err := core.NewModelRegistry("",
+		&core.NamedModel{Name: "default", Cfg: cfg, Learned: learned})
+	return reg, nil, err
+}
+
+// selftestModelDir learns selftestModels models in-process (model i from
+// reference seed i+1, named "a", "b", ...), writes them into a temp
+// directory and loads it as a hot-reloadable registry with "a" as the
+// default — the two-model reload-under-load selftest's fixture.
+func selftestModelDir(o serveRegistryOptions) (*core.ModelRegistry, func(), error) {
+	n := o.selftestModels
+	if n > 26 {
+		return nil, nil, fmt.Errorf("serve: -selftest-models %d exceeds 26", n)
+	}
+	dir, err := os.MkdirTemp("", "enduratrace-selftest-models-")
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+	fmt.Fprintf(os.Stderr, "serve: selftest, learning %d in-process models (%v clean reference each) into %s\n",
+		n, o.refDur, dir)
+	for i := 0; i < n; i++ {
+		cfg, learned, err := learnInProcess(int64(i+1), o.refDur, o.alpha)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		name := string(rune('a' + i))
+		if err := core.SaveModelFile(filepath.Join(dir, name+".json"), cfg, learned); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+	}
+	reg, err := core.LoadModelDir(dir, "a")
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return reg, cleanup, nil
+}
+
+// learnInProcess learns one model from a clean simulated reference.
+func learnInProcess(seed int64, refDur time.Duration, alpha float64) (core.Config, *core.Learned, error) {
 	cfg := eval.DefaultOptions().Core
+	if alpha > 0 {
+		cfg.Alpha = alpha
+	}
 	sc := mediasim.DefaultConfig()
 	sc.Duration = refDur
+	sc.Seed = seed
 	sim, err := mediasim.New(sc)
 	if err != nil {
 		return core.Config{}, nil, err
@@ -142,13 +261,15 @@ func serveModel(path string, selftest bool, refDur time.Duration) (core.Config, 
 	return cfg, learned, nil
 }
 
-func serveSelftest(cfg core.Config, learned *core.Learned, opts serve.SelftestOptions, jsonOut bool) error {
-	opts.Cfg = cfg
-	opts.Learned = learned
+func serveSelftest(opts serve.SelftestOptions, jsonOut bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "serve: selftest, %d loopback clients × %v trace each over a %d-point model\n",
-		opts.Clients, opts.Duration, learned.Model.Len())
+	mode := "single-model"
+	if opts.Models.Len() > 1 {
+		mode = fmt.Sprintf("%d-model registry [%s] with mid-run reload", opts.Models.Len(), strings.Join(opts.Models.Names(), " "))
+	}
+	fmt.Fprintf(os.Stderr, "serve: selftest, %d loopback clients × %v trace each over a %s\n",
+		opts.Clients, opts.Duration, mode)
 	rep, err := serve.Selftest(ctx, opts)
 	if err != nil {
 		return err
@@ -162,9 +283,17 @@ func serveSelftest(cfg core.Config, learned *core.Learned, opts serve.SelftestOp
 			rep.Stats.Windows, rep.WindowsSent, rep.Stats.DroppedEvents)
 	}
 	fmt.Fprintf(os.Stderr,
-		"serve: selftest books: %s; %d anomalies, recorded %d of %d bytes (reduction %s)\n",
+		"serve: selftest books: %s; %d anomalies, recorded %d of %d bytes (reduction %s); /metrics %d samples\n",
 		books, rep.Stats.Anomalies,
-		rep.Stats.RecordedBytes, rep.Stats.FullBytes, reductionString(rep.Stats.ReductionFactor))
+		rep.Stats.RecordedBytes, rep.Stats.FullBytes, reductionString(rep.Stats.ReductionFactor),
+		rep.MetricsSamples)
+	for model, w := range rep.ModelWindows {
+		fmt.Fprintf(os.Stderr, "serve: selftest model %q scored %d windows\n", model, w)
+	}
+	if rep.Reload != nil {
+		fmt.Fprintf(os.Stderr, "serve: selftest mid-run reload #%d OK (models [%s], default %q)\n",
+			rep.Reload.Generation, strings.Join(rep.Reload.Models, " "), rep.Reload.Default)
+	}
 	if jsonOut {
 		return emitJSON(rep, "")
 	}

@@ -37,6 +37,7 @@ func cmdSim(args []string) error {
 	duration := fs.Duration("duration", 10*time.Minute, "simulated horizon")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	stream := fs.String("stream", "", "stream name sent to the serve daemon (tcp:// output only)")
+	model := fs.String("model", "", "registry model to score this stream with (tcp:// output only; '' = the daemon's default, sent as a v1 frame header)")
 	mkLoad := loadFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,7 +63,10 @@ func cmdSim(args []string) error {
 		if *text {
 			return fmt.Errorf("sim: -text is not supported with a tcp:// output")
 		}
-		return simToServer(sim, addr, *stream, *duration)
+		return simToServer(sim, addr, *stream, *model, *duration)
+	}
+	if *model != "" {
+		return fmt.Errorf("sim: -model only applies to a tcp:// output")
 	}
 
 	var w io.Writer = os.Stdout
@@ -107,14 +111,16 @@ func cmdSim(args []string) error {
 }
 
 // simToServer streams the simulation to a running `enduratrace serve`
-// daemon over the framed TCP protocol and closes the stream cleanly.
-func simToServer(sim *mediasim.Sim, addr, stream string, duration time.Duration) error {
+// daemon over the framed TCP protocol and closes the stream cleanly. A
+// non-empty model is sent in a v2 frame header, asking the daemon to
+// score the stream with that registry model.
+func simToServer(sim *mediasim.Sim, addr, stream, model string, duration time.Duration) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("sim: dialing serve daemon: %w", err)
 	}
 	defer conn.Close()
-	fw, err := traceio.NewFrameWriter(conn, stream)
+	fw, err := traceio.NewFrameWriterModel(conn, stream, model)
 	if err != nil {
 		return err
 	}

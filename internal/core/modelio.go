@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"enduratrace/internal/distance"
@@ -101,22 +102,27 @@ func SaveModel(w io.Writer, cfg Config, l *Learned) error {
 }
 
 // LoadModel reads a model saved by SaveModel, re-fits the LOF index and
-// returns the configuration alongside the learned model.
+// returns the configuration alongside the learned model. LoadModelFile is
+// the path-aware variant whose errors name the offending file.
 func LoadModel(r io.Reader) (Config, *Learned, error) {
 	var mf modelFile
 	if err := json.NewDecoder(r).Decode(&mf); err != nil {
 		return Config{}, nil, fmt.Errorf("core: decoding model file: %w", err)
 	}
 	if mf.Version != modelFileVersion {
-		return Config{}, nil, fmt.Errorf("core: unsupported model file version %d", mf.Version)
+		return Config{}, nil, fmt.Errorf("core: unsupported model file version %d (this build supports version %d)",
+			mf.Version, modelFileVersion)
+	}
+	if len(mf.Points) == 0 {
+		return Config{}, nil, fmt.Errorf("core: model file has no reference points")
 	}
 	gate, err := distance.ByName(mf.GateDistance)
 	if err != nil {
-		return Config{}, nil, err
+		return Config{}, nil, fmt.Errorf("core: model gate distance: %w", err)
 	}
 	lofDist, err := distance.ByName(mf.LOFDistance)
 	if err != nil {
-		return Config{}, nil, err
+		return Config{}, nil, fmt.Errorf("core: model LOF distance: %w", err)
 	}
 	cfg := Config{
 		NumTypes:         mf.NumTypes,
@@ -167,6 +173,22 @@ func LoadModel(r io.Reader) (Config, *Learned, error) {
 		RefWindows:        mf.RefWindows,
 		MeanCount:         mf.MeanCount,
 		AutoGateThreshold: mf.AutoGateThreshold,
+	}
+	return cfg, learned, nil
+}
+
+// LoadModelFile opens and loads one model file, wrapping every failure —
+// open, decode, version, refit — with the path so multi-model directory
+// loads report which file broke.
+func LoadModelFile(path string) (Config, *Learned, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, nil, fmt.Errorf("core: model %s: %w", path, err)
+	}
+	defer f.Close()
+	cfg, learned, err := LoadModel(f)
+	if err != nil {
+		return Config{}, nil, fmt.Errorf("core: model %s: %w", path, err)
 	}
 	return cfg, learned, nil
 }

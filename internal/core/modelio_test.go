@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"enduratrace/internal/trace"
+)
+
+// savedModelJSON learns a small valid model and returns its JSON document
+// as a generic map, ready for per-test mutation.
+func savedModelJSON(t *testing.T) map[string]any {
+	t.Helper()
+	cfg := testConfig()
+	ref := synth(0, 2*time.Second, refWeights, 1)
+	learned, err := Learn(cfg, trace.NewSliceReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, cfg, learned); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestLoadModelErrorPaths drives every LoadModel failure mode through a
+// mutated-but-otherwise-valid model document and checks the error text
+// carries enough to act on (the unsupported version names the supported
+// one, distance errors name the distance, and so on).
+func TestLoadModelErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(doc map[string]any) // nil: raw input used instead
+		raw     string
+		wantSub []string
+	}{
+		{
+			name:    "corrupt-json",
+			raw:     `{"version": 1, "points": [[0.1,`,
+			wantSub: []string{"decoding model file"},
+		},
+		{
+			name:    "not-json-at-all",
+			raw:     "ETRC\x01binary trace, not a model",
+			wantSub: []string{"decoding model file"},
+		},
+		{
+			name:    "future-version",
+			mutate:  func(doc map[string]any) { doc["version"] = 99 },
+			wantSub: []string{"unsupported model file version 99", "supports version 1"},
+		},
+		{
+			name:    "zero-version",
+			mutate:  func(doc map[string]any) { doc["version"] = 0 },
+			wantSub: []string{"unsupported model file version 0", "supports version 1"},
+		},
+		{
+			name:    "unknown-gate-distance",
+			mutate:  func(doc map[string]any) { doc["gate_distance"] = "warp" },
+			wantSub: []string{"gate distance", "warp"},
+		},
+		{
+			name:    "unknown-lof-distance",
+			mutate:  func(doc map[string]any) { doc["lof_distance"] = "warp" },
+			wantSub: []string{"LOF distance", "warp"},
+		},
+		{
+			name:    "empty-points",
+			mutate:  func(doc map[string]any) { doc["points"] = [][]float64{} },
+			wantSub: []string{"no reference points"},
+		},
+		{
+			name:    "missing-points",
+			mutate:  func(doc map[string]any) { delete(doc, "points") },
+			wantSub: []string{"no reference points"},
+		},
+		{
+			name: "too-few-points-for-k",
+			mutate: func(doc map[string]any) {
+				doc["points"] = [][]float64{{0.25, 0.25, 0.25, 0.25}, {0.4, 0.3, 0.2, 0.1}}
+			},
+			wantSub: []string{"refitting model"},
+		},
+		{
+			name:    "invalid-config",
+			mutate:  func(doc map[string]any) { doc["k"] = -1 },
+			wantSub: []string{"model file config"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var input []byte
+			if tc.mutate != nil {
+				doc := savedModelJSON(t)
+				tc.mutate(doc)
+				var err error
+				if input, err = json.Marshal(doc); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				input = []byte(tc.raw)
+			}
+			_, _, err := LoadModel(bytes.NewReader(input))
+			if err == nil {
+				t.Fatal("LoadModel accepted a broken model file")
+			}
+			for _, sub := range tc.wantSub {
+				if !strings.Contains(err.Error(), sub) {
+					t.Fatalf("error %q does not mention %q", err, sub)
+				}
+			}
+		})
+	}
+}
+
+// TestLoadModelFileNamesPath: the path-aware loader must prefix every
+// failure — and succeed on the happy path — with the file involved.
+func TestLoadModelFileNamesPath(t *testing.T) {
+	dir := t.TempDir()
+
+	missing := filepath.Join(dir, "nope.json")
+	if _, _, err := LoadModelFile(missing); err == nil || !strings.Contains(err.Error(), "nope.json") {
+		t.Fatalf("missing-file error %v does not name the path", err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 42}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := LoadModelFile(bad)
+	if err == nil || !strings.Contains(err.Error(), "bad.json") ||
+		!strings.Contains(err.Error(), "unsupported model file version 42") {
+		t.Fatalf("bad-version error %v does not name path and version", err)
+	}
+
+	good := filepath.Join(dir, "good.json")
+	doc := savedModelJSON(t)
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, learned, err := LoadModelFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned.Model.Len() == 0 || cfg.NumTypes != testConfig().NumTypes {
+		t.Fatalf("loaded model malformed: %d points, %d types", learned.Model.Len(), cfg.NumTypes)
+	}
+}

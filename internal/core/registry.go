@@ -22,52 +22,54 @@ const (
 // endpoints while the stream runs.
 type StreamStatus struct {
 	ID       string      `json:"id"`
+	Model    string      `json:"model"`
 	State    StreamState `json:"state"`
 	Since    time.Time   `json:"since"`
 	Counters Snapshot    `json:"counters"`
 }
 
-// StreamRegistry tracks the live streams served from one shared Learned
-// and accumulates the counters of streams that have finished, so
-// aggregate totals (served + serving) survive stream churn. It is the
-// serving layer's bookkeeping hook into core: registration hands out the
-// per-stream Monitor, and closing a stream folds its final counters into
-// the cumulative totals exactly once.
+// StreamRegistry tracks the live streams served from a ModelRegistry and
+// accumulates the counters of streams that have finished, so aggregate
+// totals (served + serving) survive stream churn — overall and per model.
+// It is the serving layer's bookkeeping hook into core: registration
+// resolves the requested model name and hands out the per-stream Monitor
+// pinned to that model generation, and closing a stream folds its final
+// counters into the cumulative totals exactly once.
 type StreamRegistry struct {
-	cfg     Config
-	learned *Learned
+	models *ModelRegistry
 
-	mu     sync.Mutex
-	seq    int
-	live   map[string]*StreamHandle
-	closed Snapshot // totals of finished streams
-	nDone  int
+	mu      sync.Mutex
+	seq     int
+	live    map[string]*StreamHandle
+	closed  map[string]Snapshot // per-model totals of finished streams
+	nDone   int
+	nDoneBy map[string]int
 }
 
-// NewStreamRegistry builds a registry serving cfg over one shared learned
-// model. Monitor construction is validated once up front so per-stream
-// registration cannot fail on config errors mid-serve.
-func NewStreamRegistry(cfg Config, learned *Learned) (*StreamRegistry, error) {
-	// Validate eagerly with a throwaway monitor.
-	if _, err := NewMonitor(cfg, learned); err != nil {
-		return nil, err
-	}
+// NewStreamRegistry builds a stream registry serving models. Model
+// validity (monitor constructibility) was checked when the ModelRegistry
+// was built, so per-stream registration fails only on unknown model
+// names.
+func NewStreamRegistry(models *ModelRegistry) *StreamRegistry {
 	return &StreamRegistry{
-		cfg:     cfg,
-		learned: learned,
+		models:  models,
 		live:    make(map[string]*StreamHandle),
-	}, nil
+		closed:  make(map[string]Snapshot),
+		nDoneBy: make(map[string]int),
+	}
 }
 
-// Learned returns the shared immutable model.
-func (r *StreamRegistry) Learned() *Learned { return r.learned }
+// Models returns the backing model registry.
+func (r *StreamRegistry) Models() *ModelRegistry { return r.models }
 
-// StreamHandle is one registered stream: its Monitor plus registry
-// bookkeeping. The Monitor is owned by the stream's goroutine; the handle's
-// other methods are safe from any goroutine.
+// StreamHandle is one registered stream: its Monitor, the model it was
+// pinned to at registration, plus registry bookkeeping. The Monitor is
+// owned by the stream's goroutine; the handle's other methods are safe
+// from any goroutine.
 type StreamHandle struct {
 	reg   *StreamRegistry
 	id    string
+	model *NamedModel
 	mon   *Monitor
 	since time.Time
 
@@ -76,14 +78,20 @@ type StreamHandle struct {
 	done  bool
 }
 
-// Register creates a Monitor over the shared model and registers it under
-// name. An empty name gets a sequential "stream-NNNN" id; a taken name is
-// suffixed with the sequence number instead of failing, so client-chosen
-// names can collide harmlessly.
-func (r *StreamRegistry) Register(name string) (*StreamHandle, error) {
-	mon, err := NewMonitor(r.cfg, r.learned)
+// Register resolves modelName (empty means the registry default), creates
+// a Monitor pinned to that model, and registers it under name. An empty
+// name gets a sequential "stream-NNNN" id; a taken name is suffixed with
+// the sequence number instead of failing, so client-chosen names can
+// collide harmlessly. Unknown model names fail with ErrUnknownModel — the
+// stream is not registered.
+func (r *StreamRegistry) Register(name, modelName string) (*StreamHandle, error) {
+	m, err := r.models.Resolve(modelName)
 	if err != nil {
 		return nil, err
+	}
+	mon, err := NewMonitor(m.Cfg, m.Learned)
+	if err != nil {
+		return nil, fmt.Errorf("core: model %q: %w", m.Name, err)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -102,13 +110,17 @@ func (r *StreamRegistry) Register(name string) (*StreamHandle, error) {
 		}
 		id = fmt.Sprintf("%s-%04d", base, seq)
 	}
-	h := &StreamHandle{reg: r, id: id, mon: mon, since: time.Now(), state: StreamActive}
+	h := &StreamHandle{reg: r, id: id, model: m, mon: mon, since: time.Now(), state: StreamActive}
 	r.live[id] = h
 	return h, nil
 }
 
 // ID returns the registry-assigned stream id.
 func (h *StreamHandle) ID() string { return h.id }
+
+// Model returns the model this stream was pinned to at registration; it
+// does not change when the model registry reloads.
+func (h *StreamHandle) Model() *NamedModel { return h.model }
 
 // Monitor returns the stream's monitor (owned by the stream goroutine).
 func (h *StreamHandle) Monitor() *Monitor { return h.mon }
@@ -125,11 +137,11 @@ func (h *StreamHandle) Status() StreamStatus {
 	h.mu.Lock()
 	state := h.state
 	h.mu.Unlock()
-	return StreamStatus{ID: h.id, State: state, Since: h.since, Counters: h.mon.Snapshot()}
+	return StreamStatus{ID: h.id, Model: h.model.Name, State: state, Since: h.since, Counters: h.mon.Snapshot()}
 }
 
 // Close unregisters the stream and folds its final counters into the
-// registry's cumulative totals. Idempotent.
+// registry's cumulative per-model totals. Idempotent.
 func (h *StreamHandle) Close() {
 	h.mu.Lock()
 	if h.done {
@@ -141,8 +153,9 @@ func (h *StreamHandle) Close() {
 
 	h.reg.mu.Lock()
 	delete(h.reg.live, h.id)
-	h.reg.closed = h.reg.closed.Add(h.mon.Snapshot())
+	h.reg.closed[h.model.Name] = h.reg.closed[h.model.Name].Add(h.mon.Snapshot())
 	h.reg.nDone++
+	h.reg.nDoneBy[h.model.Name]++
 	h.reg.mu.Unlock()
 }
 
@@ -167,7 +180,9 @@ func (r *StreamRegistry) Streams() []StreamStatus {
 // along with the live and finished stream counts. Safe mid-serve.
 func (r *StreamRegistry) Totals() (total Snapshot, liveStreams, closedStreams int) {
 	r.mu.Lock()
-	total = r.closed
+	for _, s := range r.closed {
+		total = total.Add(s)
+	}
 	closedStreams = r.nDone
 	handles := make([]*StreamHandle, 0, len(r.live))
 	for _, h := range r.live {
@@ -178,4 +193,43 @@ func (r *StreamRegistry) Totals() (total Snapshot, liveStreams, closedStreams in
 		total = total.Add(h.mon.Snapshot())
 	}
 	return total, len(handles), closedStreams
+}
+
+// ModelTotals is one model's cumulative view: counters and stream counts
+// over every stream ever pinned to it.
+type ModelTotals struct {
+	Snapshot
+	StreamsLive   int
+	StreamsClosed int
+}
+
+// TotalsByModel returns the cumulative counters broken down by the model
+// streams were pinned to (closed finals plus live counters) — the
+// per-model rows behind the /metrics model labels. Models currently in
+// the registry appear even when they have served nothing yet; models
+// dropped by a reload keep their historic rows.
+func (r *StreamRegistry) TotalsByModel() map[string]ModelTotals {
+	out := make(map[string]ModelTotals)
+	for _, name := range r.models.Names() {
+		out[name] = ModelTotals{}
+	}
+	r.mu.Lock()
+	for name, s := range r.closed {
+		t := out[name]
+		t.Snapshot = t.Snapshot.Add(s)
+		t.StreamsClosed = r.nDoneBy[name]
+		out[name] = t
+	}
+	handles := make([]*StreamHandle, 0, len(r.live))
+	for _, h := range r.live {
+		handles = append(handles, h)
+	}
+	r.mu.Unlock()
+	for _, h := range handles {
+		t := out[h.model.Name]
+		t.Snapshot = t.Snapshot.Add(h.mon.Snapshot())
+		t.StreamsLive++
+		out[h.model.Name] = t
+	}
+	return out
 }

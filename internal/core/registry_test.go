@@ -27,24 +27,35 @@ func registryFixture(t *testing.T) (Config, *Learned) {
 	return cfg, learned
 }
 
+// singleModelRegistry wraps one (cfg, learned) pair as a static
+// one-model registry, the pre-multi-model serving shape.
+func singleModelRegistry(t *testing.T, cfg Config, learned *Learned) *ModelRegistry {
+	t.Helper()
+	models, err := NewModelRegistry("", &NamedModel{Name: "default", Cfg: cfg, Learned: learned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return models
+}
+
 func TestStreamRegistryLifecycle(t *testing.T) {
 	cfg, learned := registryFixture(t)
-	reg, err := NewStreamRegistry(cfg, learned)
-	if err != nil {
-		t.Fatal(err)
-	}
+	reg := NewStreamRegistry(singleModelRegistry(t, cfg, learned))
 
-	a, err := reg.Register("cam")
+	a, err := reg.Register("cam", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := reg.Register("cam") // name collision gets a suffix
+	b, err := reg.Register("cam", "") // name collision gets a suffix
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := reg.Register("") // empty name gets a sequential id
+	c, err := reg.Register("", "") // empty name gets a sequential id
 	if err != nil {
 		t.Fatal(err)
+	}
+	if a.Model().Name != "default" {
+		t.Fatalf("stream pinned to %q, want the default model", a.Model().Name)
 	}
 	if a.ID() != "cam" || b.ID() == "cam" || c.ID() == "" {
 		t.Fatalf("ids: %q %q %q", a.ID(), b.ID(), c.ID())
@@ -100,17 +111,14 @@ func TestStreamRegistryLifecycle(t *testing.T) {
 
 func TestStreamRegistryAutoIDCollision(t *testing.T) {
 	cfg, learned := registryFixture(t)
-	reg, err := NewStreamRegistry(cfg, learned)
-	if err != nil {
-		t.Fatal(err)
-	}
+	reg := NewStreamRegistry(singleModelRegistry(t, cfg, learned))
 	// Claim the id the second auto-named registration would get; the
 	// registry must dodge it rather than overwrite the live entry.
-	squatter, err := reg.Register("stream-0002")
+	squatter, err := reg.Register("stream-0002", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	auto, err := reg.Register("")
+	auto, err := reg.Register("", "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"time"
@@ -8,48 +9,106 @@ import (
 
 // healthReport is the /healthz body.
 type healthReport struct {
-	Status      string  `json:"status"`
-	UptimeS     float64 `json:"uptime_s"`
-	StreamsLive int     `json:"streams_live"`
-	ModelPoints int     `json:"model_points"`
+	Status       string   `json:"status"`
+	UptimeS      float64  `json:"uptime_s"`
+	StreamsLive  int      `json:"streams_live"`
+	ModelPoints  int      `json:"model_points"`
+	Models       []string `json:"models"`
+	DefaultModel string   `json:"default_model"`
 }
 
 // adminMux builds the admin endpoints:
 //
-//	GET /healthz  liveness + model identity
-//	GET /streams  live streams with queue/sink counters
-//	GET /stats    aggregate totals in the `monitor -json` report shape
+//	GET  /healthz  liveness + model registry identity
+//	GET  /streams  live streams with queue/sink counters
+//	GET  /stats    aggregate totals in the `monitor -json` report shape
+//	GET  /metrics  Prometheus text exposition, labelled by model/stream
+//	POST /reload   hot-reload the model registry from its directory
 func (s *Server) adminMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		_, live, _ := s.reg.Totals()
-		writeJSON(w, healthReport{
-			Status:      "ok",
-			UptimeS:     time.Since(s.start).Seconds(),
-			StreamsLive: live,
-			ModelPoints: s.opts.Learned.Model.Len(),
+		writeJSON(w, http.StatusOK, healthReport{
+			Status:       "ok",
+			UptimeS:      time.Since(s.start).Seconds(),
+			StreamsLive:  live,
+			ModelPoints:  s.models.Default().Learned.Model.Len(),
+			Models:       s.models.Names(),
+			DefaultModel: s.models.DefaultName(),
 		})
 	})
 	mux.HandleFunc("GET /streams", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.Streams())
+		writeJSON(w, http.StatusOK, s.Streams())
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.Stats())
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.WriteMetrics(w); err != nil {
+			s.log.Printf("metrics write: %v", err)
+		}
+	})
+	mux.HandleFunc("POST /reload", func(w http.ResponseWriter, r *http.Request) {
+		// Reload re-reads and refits every model inline, which can outlast
+		// the admin server's WriteTimeout (set at header-read time) on big
+		// registries — the swap would succeed but the response write would
+		// hit the stale deadline and report failure. Push the deadline out
+		// past the load.
+		rc := http.NewResponseController(w)
+		rc.SetWriteDeadline(time.Now().Add(10 * time.Minute))
+		rep, err := s.Reload()
+		rc.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		if err != nil {
+			writeJSON(w, http.StatusConflict, struct {
+				Error string `json:"error"`
+			}{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
 	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
 }
 
+// adminShutdownTimeout bounds how long a stalled admin client can delay
+// daemon shutdown before its connection is cut.
+const adminShutdownTimeout = 3 * time.Second
+
+// newAdminServer builds the admin http.Server with every I/O timeout set:
+// the admin port faces operators and scrapers, but a stalled or malicious
+// client must never pin a handler goroutine (or shutdown) forever, so
+// reads, writes and idle keep-alives all have deadlines.
+func (s *Server) newAdminServer() *http.Server {
+	return &http.Server{
+		Handler:           s.adminMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}
+
 // serveAdmin runs the admin HTTP server until the listener closes (during
 // Server shutdown, after the streams have drained — so /stats stays
 // queryable through the drain).
-func (s *Server) serveAdmin() {
-	srv := &http.Server{Handler: s.adminMux(), ReadHeaderTimeout: 5 * time.Second}
+func (s *Server) serveAdmin(srv *http.Server) {
 	srv.Serve(s.adminLn) // returns when adminLn closes
+}
+
+// shutdownAdmin gracefully stops the admin server, waiting at most
+// adminShutdownTimeout for in-flight responses before force-closing.
+func (s *Server) shutdownAdmin(srv *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), adminShutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+	}
 }

@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text exposition (version 0.0.4), hand-rolled: the format is
+// a dozen lines of escaping rules, which is cheaper than a client library
+// dependency and keeps the daemon's admin surface self-contained. The
+// /stats JSON endpoint is unchanged; /metrics is the scrape-friendly view
+// with per-model and per-stream labels.
+
+// metricsWriter accumulates one scrape. Families are emitted in the order
+// first announced; samples within a family in the order added (callers
+// sort their label sets for deterministic scrapes).
+type metricsWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func newMetricsWriter(w io.Writer) *metricsWriter {
+	return &metricsWriter{w: bufio.NewWriter(w)}
+}
+
+// family emits the HELP/TYPE header for one metric family.
+func (m *metricsWriter) family(name, typ, help string) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample emits one sample line; labels are (key, value) pairs.
+func (m *metricsWriter) sample(name string, value float64, labels ...string) {
+	if m.err != nil {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(labels[i])
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabelValue(labels[i+1]))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+	sb.WriteByte('\n')
+	_, m.err = m.w.WriteString(sb.String())
+}
+
+func (m *metricsWriter) flush() error {
+	if m.err != nil {
+		return m.err
+	}
+	return m.w.Flush()
+}
+
+// escapeLabelValue applies the exposition-format label escapes (backslash,
+// double quote, newline).
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// WriteMetrics writes the server's Prometheus scrape: serving state plus
+// the monitoring counters — events, windows, gate trips, anomalies,
+// drops, queue depth — cumulatively per model and individually per live
+// stream, every sample labelled with the model that scored it.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	m := newMetricsWriter(w)
+
+	m.family("enduratrace_uptime_seconds", "gauge", "Seconds since the serving daemon started.")
+	m.sample("enduratrace_uptime_seconds", time.Since(s.start).Seconds())
+
+	m.family("enduratrace_model_reloads_total", "counter", "Successful model registry hot reloads.")
+	m.sample("enduratrace_model_reloads_total", float64(s.models.Generation()))
+
+	m.family("enduratrace_streams_rejected_total", "counter", "Streams refused at registration (unknown model name).")
+	m.sample("enduratrace_streams_rejected_total", float64(s.rejected.Load()))
+
+	// Registry contents: point counts, flagging the default model.
+	names := s.models.Names()
+	defaultName := s.models.DefaultName()
+	m.family("enduratrace_model_points", "gauge", "Reference points in each registered model (1-labelled default).")
+	for _, name := range names {
+		nm, err := s.models.Resolve(name)
+		if err != nil {
+			continue // dropped by a concurrent reload
+		}
+		isDefault := "0"
+		if name == defaultName {
+			isDefault = "1"
+		}
+		m.sample("enduratrace_model_points", float64(nm.Learned.Model.Len()),
+			"model", name, "default", isDefault)
+	}
+
+	// Cumulative per-model monitoring counters (closed finals + live).
+	byModel := s.reg.TotalsByModel()
+	modelNames := make([]string, 0, len(byModel))
+	for name := range byModel {
+		modelNames = append(modelNames, name)
+	}
+	// Byte/drop totals live server-side; fold closed + live per model.
+	ioBy := make(map[string]ioTotals, len(byModel))
+	type liveRow struct {
+		id    string
+		model string
+		qc    QueueCounters
+	}
+	var live []liveRow
+	s.mu.Lock()
+	for name, t := range s.closedBy {
+		ioBy[name] = t
+	}
+	for id, st := range s.streams {
+		name := st.h.Model().Name
+		qc := st.q.Counters()
+		ioBy[name] = ioBy[name].add(ioTotals{
+			fullBytes:  st.fullBytes.Load(),
+			recBytes:   st.sink.bytes.Load(),
+			recWindows: st.sink.windows.Load(),
+			dropped:    qc.Dropped,
+		})
+		live = append(live, liveRow{id: id, model: name, qc: qc})
+	}
+	s.mu.Unlock()
+	for name := range ioBy {
+		if _, ok := byModel[name]; !ok {
+			modelNames = append(modelNames, name)
+		}
+	}
+	sort.Strings(modelNames)
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+
+	perModel := []struct {
+		name, typ, help string
+		value           func(name string) float64
+	}{
+		{"enduratrace_windows_total", "counter", "Windows scored, cumulative over closed and live streams.",
+			func(n string) float64 { return float64(byModel[n].Windows) }},
+		{"enduratrace_gate_trips_total", "counter", "Gate trips (LOF computations), cumulative.",
+			func(n string) float64 { return float64(byModel[n].GateTrips) }},
+		{"enduratrace_lof_calls_total", "counter", "LOF scorings performed, cumulative.",
+			func(n string) float64 { return float64(byModel[n].LOFCalls) }},
+		{"enduratrace_anomalies_total", "counter", "Windows flagged anomalous (outliers), cumulative.",
+			func(n string) float64 { return float64(byModel[n].Anomalies) }},
+		{"enduratrace_events_dropped_total", "counter", "Events shed by drop-oldest backpressure, cumulative.",
+			func(n string) float64 { return float64(ioBy[n].dropped) }},
+		{"enduratrace_ingest_bytes_total", "counter", "Encoded bytes of every event received, cumulative.",
+			func(n string) float64 { return float64(ioBy[n].fullBytes) }},
+		{"enduratrace_recorded_windows_total", "counter", "Windows recorded to sinks, cumulative.",
+			func(n string) float64 { return float64(ioBy[n].recWindows) }},
+		{"enduratrace_recorded_bytes_total", "counter", "Bytes recorded to sinks, cumulative.",
+			func(n string) float64 { return float64(ioBy[n].recBytes) }},
+		{"enduratrace_streams_live", "gauge", "Streams currently being served.",
+			func(n string) float64 { return float64(byModel[n].StreamsLive) }},
+		{"enduratrace_streams_closed_total", "counter", "Streams served to completion.",
+			func(n string) float64 { return float64(byModel[n].StreamsClosed) }},
+	}
+	for _, fam := range perModel {
+		m.family(fam.name, fam.typ, fam.help)
+		for _, name := range modelNames {
+			m.sample(fam.name, fam.value(name), "model", name)
+		}
+	}
+
+	// Per-stream live counters. Registry snapshot keyed by id for the
+	// monitor-side numbers; queue/byte counters from the rows above.
+	statuses := s.reg.Streams()
+	counters := make(map[string]struct {
+		windows, trips, anoms float64
+	}, len(statuses))
+	for _, st := range statuses {
+		counters[st.ID] = struct{ windows, trips, anoms float64 }{
+			float64(st.Counters.Windows), float64(st.Counters.GateTrips), float64(st.Counters.Anomalies),
+		}
+	}
+	perStream := []struct {
+		name, typ, help string
+		value           func(r liveRow) (float64, bool)
+	}{
+		{"enduratrace_stream_windows_total", "counter", "Windows scored on this live stream.",
+			func(r liveRow) (float64, bool) { c, ok := counters[r.id]; return c.windows, ok }},
+		{"enduratrace_stream_gate_trips_total", "counter", "Gate trips on this live stream.",
+			func(r liveRow) (float64, bool) { c, ok := counters[r.id]; return c.trips, ok }},
+		{"enduratrace_stream_anomalies_total", "counter", "Anomalous windows on this live stream.",
+			func(r liveRow) (float64, bool) { c, ok := counters[r.id]; return c.anoms, ok }},
+		{"enduratrace_stream_events_ingested_total", "counter", "Events decoded off this stream's socket.",
+			func(r liveRow) (float64, bool) { return float64(r.qc.Ingested), true }},
+		{"enduratrace_stream_events_scored_total", "counter", "Events consumed by this stream's monitor.",
+			func(r liveRow) (float64, bool) { return float64(r.qc.Scored), true }},
+		{"enduratrace_stream_events_dropped_total", "counter", "Events shed from this stream's queue.",
+			func(r liveRow) (float64, bool) { return float64(r.qc.Dropped), true }},
+		{"enduratrace_stream_queue_depth", "gauge", "Events queued between ingest and scoring.",
+			func(r liveRow) (float64, bool) { return float64(r.qc.Depth), true }},
+	}
+	for _, fam := range perStream {
+		m.family(fam.name, fam.typ, fam.help)
+		for _, r := range live {
+			v, ok := fam.value(r)
+			if !ok {
+				continue // stream closed between the two snapshots
+			}
+			m.sample(fam.name, v, "stream", r.id, "model", r.model)
+		}
+	}
+
+	return m.flush()
+}
+
+// ValidatePrometheusText parses a text-format exposition just enough to
+// catch malformed output: every line must be a comment or a
+// `name{labels} value` sample with balanced quotes and a numeric value.
+// It returns the number of samples. Used by the selftest (and CI smoke)
+// to assert the /metrics endpoint stays scrapeable.
+func ValidatePrometheusText(body []byte) (samples int, err error) {
+	for i, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest := line
+		// Metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
+		n := 0
+		for n < len(rest) {
+			c := rest[n]
+			ok := c == '_' || c == ':' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(n > 0 && c >= '0' && c <= '9')
+			if !ok {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			return samples, fmt.Errorf("line %d: no metric name in %q", i+1, line)
+		}
+		rest = rest[n:]
+		if strings.HasPrefix(rest, "{") {
+			end := -1
+			inQuote := false
+			for j := 1; j < len(rest); j++ {
+				switch {
+				case inQuote && rest[j] == '\\':
+					j++ // skip escaped char
+				case rest[j] == '"':
+					inQuote = !inQuote
+				case !inQuote && rest[j] == '}':
+					end = j
+				}
+				if end >= 0 {
+					break
+				}
+			}
+			if end < 0 {
+				return samples, fmt.Errorf("line %d: unterminated label set in %q", i+1, line)
+			}
+			rest = rest[end+1:]
+		}
+		rest = strings.TrimSpace(rest)
+		// Value (possibly followed by a timestamp).
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return samples, fmt.Errorf("line %d: want value [timestamp], got %q", i+1, rest)
+		}
+		if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+			return samples, fmt.Errorf("line %d: bad sample value %q", i+1, fields[0])
+		}
+		samples++
+	}
+	return samples, nil
+}

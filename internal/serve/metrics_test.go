@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidatePrometheusText(t *testing.T) {
+	good := strings.Join([]string{
+		"# HELP enduratrace_windows_total Windows scored.",
+		"# TYPE enduratrace_windows_total counter",
+		`enduratrace_windows_total{model="a"} 12`,
+		`enduratrace_windows_total{model="b"} 0`,
+		`enduratrace_stream_queue_depth{stream="cam \"3\"",model="a"} 4`,
+		"enduratrace_uptime_seconds 1.25",
+		"enduratrace_uptime_seconds 1.25 1690000000",
+		"",
+	}, "\n")
+	n, err := ValidatePrometheusText([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("%d samples, want 5", n)
+	}
+
+	bad := []string{
+		"{no_name} 1",
+		"enduratrace_x{unterminated=\"a 1",
+		"enduratrace_x one",
+		"enduratrace_x 1 2 3",
+		"enduratrace_x",
+	}
+	for _, line := range bad {
+		if _, err := ValidatePrometheusText([]byte(line + "\n")); err == nil {
+			t.Errorf("ValidatePrometheusText accepted %q", line)
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		`q"uote`:     `q\"uote`,
+		"back\\lash": `back\\lash`,
+		"new\nline":  `new\nline`,
+	}
+	for in, want := range cases {
+		if got := escapeLabelValue(in); got != want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"sync"
-	"sync/atomic"
 
 	"enduratrace/internal/trace"
 )
@@ -53,6 +52,17 @@ func ParseBackpressure(s string) (Backpressure, error) {
 // record). It implements trace.Reader on the consumer side; Next returns
 // io.EOF once the queue is closed and drained, so a core.Monitor.Run over
 // the queue terminates cleanly whatever ended ingestion.
+//
+// All four counters move under the queue mutex and are read together via
+// Counters(), so any observer sees a consistent snapshot obeying
+//
+//	ingested == scored + dropped + depth
+//
+// at all times — in particular, drops observed mid-drain always equal the
+// drops in the final per-stream totals. (An earlier revision bumped the
+// scored counter outside the lock, so a concurrent /stats read could
+// catch an event that had left the buffer but was not yet counted
+// anywhere; TestEventQueueCountersConsistentUnderRace pins the fix.)
 type eventQueue struct {
 	mu       sync.Mutex
 	notFull  sync.Cond
@@ -63,9 +73,9 @@ type eventQueue struct {
 	closed   bool
 	policy   Backpressure
 
-	dropped  atomic.Int64
-	ingested atomic.Int64
-	scored   atomic.Int64
+	dropped  int64
+	ingested int64
+	scored   int64
 }
 
 func newEventQueue(capacity int, policy Backpressure) *eventQueue {
@@ -94,13 +104,13 @@ func (q *eventQueue) Push(ev trace.Event) bool {
 	if q.n == len(q.buf) { // DropOldest: make room
 		q.head = (q.head + 1) % len(q.buf)
 		q.n--
-		q.dropped.Add(1)
+		q.dropped++
 	}
 	q.buf[(q.head+q.n)%len(q.buf)] = ev
 	q.n++
 	// Count before unlocking: the consumer may pop (and bump scored) the
 	// instant the lock drops, and scored must never exceed ingested.
-	q.ingested.Add(1)
+	q.ingested++
 	q.mu.Unlock()
 	q.notEmpty.Signal()
 	return true
@@ -130,10 +140,28 @@ func (q *eventQueue) Next() (trace.Event, error) {
 	q.buf[q.head] = trace.Event{} // drop payload reference
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
+	// Count inside the lock: the event must never be invisible to a
+	// concurrent Counters() — gone from the buffer yet not scored.
+	q.scored++
 	q.mu.Unlock()
 	q.notFull.Signal()
-	q.scored.Add(1)
 	return ev, nil
+}
+
+// QueueCounters is one consistent observation of a queue's books.
+type QueueCounters struct {
+	Ingested int64
+	Scored   int64
+	Dropped  int64
+	Depth    int
+}
+
+// Counters returns the queue's books as one atomic observation: at every
+// instant Ingested == Scored + Dropped + Depth.
+func (q *eventQueue) Counters() QueueCounters {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueCounters{Ingested: q.ingested, Scored: q.scored, Dropped: q.dropped, Depth: q.n}
 }
 
 // Depth reports the current queue occupancy.

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,9 +23,24 @@ import (
 
 // SelftestOptions configures the loopback load generator.
 type SelftestOptions struct {
-	// Cfg and Learned as in Options.
+	// Cfg and Learned as in Options (the single-model path).
 	Cfg     core.Config
 	Learned *core.Learned
+	// Models, when non-nil, serves from this registry instead of
+	// Cfg/Learned — the multi-model selftest. ClientModels assigns client
+	// i the model name ClientModels[i%len(ClientModels)]: an empty string
+	// makes that client send a version 1 frame header (no model field, the
+	// pre-registry wire format) and be served by the default model; a
+	// non-empty name is sent in a version 2 header. Each client's expected
+	// window count is computed with its resolved model's windowing config.
+	Models       *core.ModelRegistry
+	ClientModels []string
+	// ReloadMidRun POSTs /reload to the admin endpoint once the server has
+	// scored at least one window with clients still streaming, proving a
+	// hot swap under load loses and double-counts nothing (the final books
+	// are still checked exactly). Requires a reloadable Models registry
+	// (core.LoadModelDir).
+	ReloadMidRun bool
 	// Clients is the number of concurrent loopback streams (default 4).
 	Clients int
 	// Duration is each client's simulated horizon (default 30s of trace
@@ -43,23 +60,33 @@ type SelftestOptions struct {
 
 // ClientReport is one loopback client's send-side accounting.
 type ClientReport struct {
-	Stream  string `json:"stream"`
+	Stream string `json:"stream"`
+	// Model is the resolved model name the client's stream was served by
+	// (the registry default for v1-framed clients); HeaderV is the frame
+	// header version the client sent (1 or 2).
+	Model   string `json:"model"`
+	HeaderV int    `json:"header_v"`
 	Events  int64  `json:"events"`
 	Windows int64  `json:"windows"`
 }
 
 // SelftestReport is the end-to-end result: send-side counts, the admin
-// /stats view fetched over real HTTP, and the per-stream finals.
+// /stats view fetched over real HTTP, and the per-stream finals. In
+// multi-model mode the per-model window counts scraped off /metrics and
+// the mid-run reload report are included.
 type SelftestReport struct {
-	Clients     int            `json:"clients"`
-	WallS       float64        `json:"wall_s"`
-	EventsSent  int64          `json:"events_sent"`
-	WindowsSent int64          `json:"windows_sent"`
-	EventsPerS  float64        `json:"events_per_s"`
-	WindowsPerS float64        `json:"windows_per_s"`
-	Stats       StatsReport    `json:"stats"`
-	PerClient   []ClientReport `json:"per_client"`
-	Results     []StreamResult `json:"results"`
+	Clients        int                `json:"clients"`
+	WallS          float64            `json:"wall_s"`
+	EventsSent     int64              `json:"events_sent"`
+	WindowsSent    int64              `json:"windows_sent"`
+	EventsPerS     float64            `json:"events_per_s"`
+	WindowsPerS    float64            `json:"windows_per_s"`
+	Stats          StatsReport        `json:"stats"`
+	PerClient      []ClientReport     `json:"per_client"`
+	Results        []StreamResult     `json:"results"`
+	MetricsSamples int                `json:"metrics_samples"`
+	ModelWindows   map[string]int64   `json:"model_windows,omitempty"`
+	Reload         *core.ReloadReport `json:"reload,omitempty"`
 }
 
 // Selftest starts a server on loopback, fans opts.Clients simulated
@@ -81,6 +108,7 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 	}
 
 	srv, err := New(Options{
+		Models:       opts.Models,
 		Cfg:          opts.Cfg,
 		Learned:      opts.Learned,
 		QueueLen:     opts.QueueLen,
@@ -98,6 +126,62 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 	defer cancel()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(serveCtx) }()
+	adminURL := "http://" + srv.AdminAddr().String()
+
+	// Resolve each client's model up front: the client needs the model's
+	// windowing config to predict the exact window count the server must
+	// score, and the resolved name to assert the per-model /metrics rows.
+	clientModel := make([]string, opts.Clients) // requested (may be "")
+	clientResolved := make([]string, opts.Clients)
+	clientCfg := make([]core.Config, opts.Clients)
+	for i := 0; i < opts.Clients; i++ {
+		if len(opts.ClientModels) > 0 {
+			clientModel[i] = opts.ClientModels[i%len(opts.ClientModels)]
+		}
+		nm, err := srv.Models().Resolve(clientModel[i])
+		if err != nil {
+			return nil, fmt.Errorf("serve: selftest client %d: %w", i, err)
+		}
+		clientResolved[i], clientCfg[i] = nm.Name, nm.Cfg
+	}
+
+	// The reload-under-load choreography: every client sends the first
+	// half of its trace, flushes, and parks on the gate; with the whole
+	// fleet provably mid-stream the prober POSTs /reload, then opens the
+	// gate and the clients send their second halves — so the swap happens
+	// with every stream live and in flight. The final books checks below
+	// then prove it dropped and double-counted nothing.
+	var gate chan struct{}
+	var reload *core.ReloadReport
+	reloadErr := make(chan error, 1)
+	if opts.ReloadMidRun {
+		gate = make(chan struct{})
+		go func() {
+			defer close(gate)
+			deadline := time.Now().Add(60 * time.Second)
+			for {
+				var stats StatsReport
+				if err := getJSON(adminURL+"/stats", &stats); err == nil &&
+					stats.Windows > 0 && stats.StreamsLive == opts.Clients {
+					break
+				}
+				if time.Now().After(deadline) {
+					reloadErr <- fmt.Errorf("serve: selftest reload: server never under load")
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			var rep core.ReloadReport
+			if err := postJSON(adminURL+"/reload", &rep); err != nil {
+				reloadErr <- fmt.Errorf("serve: selftest POST /reload: %w", err)
+				return
+			}
+			reload = &rep
+			reloadErr <- nil
+		}()
+	} else {
+		reloadErr <- nil
+	}
 
 	start := time.Now()
 	reports := make([]ClientReport, opts.Clients)
@@ -108,7 +192,8 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 		go func(i int) {
 			defer wg.Done()
 			name := fmt.Sprintf("selftest-%02d", i)
-			rep, err := runClient(srv.TraceAddr().String(), name, opts, opts.SeedBase+int64(i))
+			rep, err := runClient(srv.TraceAddr().String(), name, clientCfg[i], clientModel[i], opts, opts.SeedBase+int64(i), gate)
+			rep.Model = clientResolved[i]
 			reports[i], errs[i] = rep, err
 		}(i)
 	}
@@ -118,8 +203,10 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 			return nil, fmt.Errorf("serve: selftest client %d: %w", i, err)
 		}
 	}
+	if err := <-reloadErr; err != nil {
+		return nil, err
+	}
 
-	adminURL := "http://" + srv.AdminAddr().String()
 	if err := awaitClosedStreams(ctx, adminURL, opts.Clients); err != nil {
 		return nil, err
 	}
@@ -136,6 +223,22 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 	if health.Status != "ok" {
 		return nil, fmt.Errorf("serve: selftest health %q", health.Status)
 	}
+	// Scrape /metrics over real HTTP with every stream folded into the
+	// per-model totals: the body must parse as Prometheus text, and the
+	// per-model window rows are cross-checked against the send-side books
+	// below.
+	metricsBody, err := getBody(adminURL + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("serve: selftest /metrics: %w", err)
+	}
+	nSamples, err := ValidatePrometheusText(metricsBody)
+	if err != nil {
+		return nil, fmt.Errorf("serve: selftest /metrics is not valid Prometheus text: %w", err)
+	}
+	modelWindows, err := scrapeModelWindows(metricsBody)
+	if err != nil {
+		return nil, fmt.Errorf("serve: selftest /metrics: %w", err)
+	}
 
 	cancel()
 	if err := <-serveErr; err != nil {
@@ -143,11 +246,14 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 	}
 
 	rep := &SelftestReport{
-		Clients:   opts.Clients,
-		WallS:     wall.Seconds(),
-		Stats:     stats,
-		PerClient: reports,
-		Results:   srv.Results(),
+		Clients:        opts.Clients,
+		WallS:          wall.Seconds(),
+		Stats:          stats,
+		PerClient:      reports,
+		Results:        srv.Results(),
+		MetricsSamples: nSamples,
+		ModelWindows:   modelWindows,
+		Reload:         reload,
 	}
 	for _, c := range reports {
 		rep.EventsSent += c.Events
@@ -184,6 +290,10 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 		if !ok {
 			return rep, fmt.Errorf("serve: selftest unexpected stream %q", res.ID)
 		}
+		if res.Model != c.Model {
+			return rep, fmt.Errorf("serve: selftest stream %q served by model %q, client resolved %q",
+				res.ID, res.Model, c.Model)
+		}
 		if !res.Clean {
 			return rep, fmt.Errorf("serve: selftest stream %q did not close cleanly: %s", res.ID, res.Err)
 		}
@@ -197,14 +307,44 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 				res.ID, res.Windows, c.Windows)
 		}
 	}
+
+	// Per-model books off the /metrics labels: each model's cumulative
+	// window row must equal the windows sent by the clients resolved to
+	// it (same drop-oldest caveat as the aggregate check above).
+	wantByModel := make(map[string]int64)
+	for _, c := range reports {
+		wantByModel[c.Model] += c.Windows
+	}
+	for model, want := range wantByModel {
+		got, ok := modelWindows[model]
+		if !ok {
+			return rep, fmt.Errorf("serve: selftest /metrics has no windows_total row for model %q", model)
+		}
+		if opts.Backpressure == DropOldest && stats.DroppedEvents > 0 {
+			if got > want {
+				return rep, fmt.Errorf("serve: selftest model %q scored %d windows > %d sent", model, got, want)
+			}
+		} else if got != want {
+			return rep, fmt.Errorf("serve: selftest model %q scored %d windows, clients sent %d", model, got, want)
+		}
+	}
+	if opts.ReloadMidRun && (reload == nil || reload.Generation < 1) {
+		return rep, fmt.Errorf("serve: selftest reload-under-load did not record a successful reload")
+	}
 	return rep, nil
 }
 
 // runClient streams one simulated pipeline run to the server, counting
 // events and (via a local windower identical to the server's) the windows
-// the server must end up scoring.
-func runClient(addr, name string, opts SelftestOptions, seed int64) (ClientReport, error) {
-	rep := ClientReport{Stream: name}
+// the server must end up scoring. model selects the frame-header version:
+// "" sends a v1 header (served by the default model), a name sends v2.
+// A non-nil gate makes the client flush and park at its trace midpoint
+// until the gate closes — the reload-under-load choreography.
+func runClient(addr, name string, cfg core.Config, model string, opts SelftestOptions, seed int64, gate <-chan struct{}) (ClientReport, error) {
+	rep := ClientReport{Stream: name, HeaderV: 1}
+	if model != "" {
+		rep.HeaderV = 2
+	}
 	sc := mediasim.DefaultConfig()
 	sc.Duration = opts.Duration
 	sc.Seed = seed
@@ -226,7 +366,7 @@ func runClient(addr, name string, opts SelftestOptions, seed int64) (ClientRepor
 		return rep, err
 	}
 	defer conn.Close()
-	fw, err := traceio.NewFrameWriter(conn, name)
+	fw, err := traceio.NewFrameWriterModel(conn, name, model)
 	if err != nil {
 		return rep, err
 	}
@@ -235,8 +375,8 @@ func runClient(addr, name string, opts SelftestOptions, seed int64) (ClientRepor
 	// exact server-side windowing semantics (window.Stream mirrors
 	// Monitor.Run's Add/Drain/Flush loop), so the expected window count is
 	// computed, not guessed.
-	wdr := opts.Cfg.NewWindower()
-	tee := &teeReader{r: sim, w: fw, events: &rep.Events}
+	wdr := cfg.NewWindower()
+	tee := &teeReader{r: sim, w: fw, events: &rep.Events, gate: gate, pauseAt: opts.Duration / 2}
 	err = window.Stream(tee, wdr, func(window.Window) error {
 		rep.Windows++
 		return nil
@@ -251,16 +391,28 @@ func runClient(addr, name string, opts SelftestOptions, seed int64) (ClientRepor
 }
 
 // teeReader forwards every event it yields to a trace writer (the wire).
+// With a gate set, the first event at or past pauseAt flushes the wire
+// and blocks until the gate closes, leaving the stream live and half-sent.
 type teeReader struct {
-	r      interface{ Next() (trace.Event, error) }
-	w      *traceio.FrameWriter
-	events *int64
+	r       interface{ Next() (trace.Event, error) }
+	w       *traceio.FrameWriter
+	events  *int64
+	gate    <-chan struct{}
+	pauseAt time.Duration
+	paused  bool
 }
 
 func (t *teeReader) Next() (trace.Event, error) {
 	ev, err := t.r.Next()
 	if err != nil {
 		return ev, err
+	}
+	if t.gate != nil && !t.paused && ev.TS >= t.pauseAt {
+		t.paused = true
+		if err := t.w.Flush(); err != nil {
+			return ev, err
+		}
+		<-t.gate
 	}
 	if err := t.w.Write(ev); err != nil {
 		return ev, err
@@ -301,4 +453,59 @@ func getJSON(url string, v any) error {
 		return fmt.Errorf("GET %s: %s", url, resp.Status)
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// postJSON POSTs an empty body and decodes the JSON response.
+func postJSON(url string, v any) error {
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// getBody fetches a URL's body.
+func getBody(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// scrapeModelWindows extracts the enduratrace_windows_total{model="X"}
+// samples from a /metrics body.
+func scrapeModelWindows(body []byte) (map[string]int64, error) {
+	out := make(map[string]int64)
+	const prefix = `enduratrace_windows_total{model="`
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		end := strings.Index(rest, `"`)
+		if end < 0 {
+			return nil, fmt.Errorf("malformed metric line %q", line)
+		}
+		model := rest[:end]
+		fields := strings.Fields(rest[end+2:])
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("malformed metric line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed metric value in %q: %w", line, err)
+		}
+		out[model] = int64(v)
+	}
+	return out, nil
 }

@@ -24,7 +24,9 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,8 +40,16 @@ import (
 
 // Options configures a Server.
 type Options struct {
-	// Cfg and Learned are the monitor configuration and the shared model
-	// (typically from core.LoadModel).
+	// Models is the registry of named models streams resolve against: a
+	// stream's frame header may name the model it wants (header v2), an
+	// empty or absent name gets the registry default, and unknown names
+	// are rejected at registration. Registries loaded with
+	// core.LoadModelDir support hot reload (Server.Reload, POST /reload).
+	// When nil, a single-model registry named "default" is built from Cfg
+	// and Learned.
+	Models *core.ModelRegistry
+	// Cfg and Learned are the single-model fallback used when Models is
+	// nil (typically from core.LoadModel).
 	Cfg     core.Config
 	Learned *core.Learned
 	// QueueLen bounds each stream's event queue (default 1024).
@@ -59,6 +69,7 @@ type Options struct {
 // StreamResult is one stream's final accounting, reported after it closes.
 type StreamResult struct {
 	ID              string  `json:"id"`
+	Model           string  `json:"model"`
 	Windows         int     `json:"windows"`
 	GateTrips       int     `json:"gate_trips"`
 	Anomalies       int     `json:"anomalies"`
@@ -124,14 +135,24 @@ type ioTotals struct {
 	dropped    int64
 }
 
+func (t ioTotals) add(o ioTotals) ioTotals {
+	return ioTotals{
+		fullBytes:  t.fullBytes + o.fullBytes,
+		recBytes:   t.recBytes + o.recBytes,
+		recWindows: t.recWindows + o.recWindows,
+		dropped:    t.dropped + o.dropped,
+	}
+}
+
 // Server is the serving daemon. Build with New, bind with Listen, then
 // Serve until the context is cancelled; Results/Report read the final
 // accounting afterwards.
 type Server struct {
-	opts  Options
-	reg   *core.StreamRegistry
-	log   *log.Logger
-	start time.Time
+	opts   Options
+	models *core.ModelRegistry
+	reg    *core.StreamRegistry
+	log    *log.Logger
+	start  time.Time
 
 	traceLn net.Listener
 	adminLn net.Listener
@@ -141,16 +162,24 @@ type Server struct {
 	streams  map[string]*stream
 	results  []StreamResult
 	closed   ioTotals
+	closedBy map[string]ioTotals // per-model byte totals of closed streams
 	shutdown bool
+
+	rejected atomic.Int64 // streams refused at registration (unknown model)
 
 	wg sync.WaitGroup
 }
 
 // New validates the options and builds a server (not yet listening).
 func New(opts Options) (*Server, error) {
-	reg, err := core.NewStreamRegistry(opts.Cfg, opts.Learned)
-	if err != nil {
-		return nil, err
+	models := opts.Models
+	if models == nil {
+		var err error
+		models, err = core.NewModelRegistry("",
+			&core.NamedModel{Name: "default", Cfg: opts.Cfg, Learned: opts.Learned})
+		if err != nil {
+			return nil, err
+		}
 	}
 	if opts.Sinks == nil {
 		opts.Sinks = recorder.NullFactory()
@@ -166,13 +195,34 @@ func New(opts Options) (*Server, error) {
 		logw = io.Discard
 	}
 	return &Server{
-		opts:    opts,
-		reg:     reg,
-		log:     log.New(logw, "serve: ", 0),
-		start:   time.Now(),
-		conns:   make(map[net.Conn]struct{}),
-		streams: make(map[string]*stream),
+		opts:     opts,
+		models:   models,
+		reg:      core.NewStreamRegistry(models),
+		log:      log.New(logw, "serve: ", 0),
+		start:    time.Now(),
+		conns:    make(map[net.Conn]struct{}),
+		streams:  make(map[string]*stream),
+		closedBy: make(map[string]ioTotals),
 	}, nil
+}
+
+// Models returns the server's model registry.
+func (s *Server) Models() *core.ModelRegistry { return s.models }
+
+// Reload hot-swaps the model registry from its directory (see
+// core.ModelRegistry.Reload): in-flight streams finish on the model they
+// were registered with, streams accepted afterwards resolve against the
+// new set. Exposed over the admin endpoint as POST /reload and typically
+// also wired to SIGHUP by the caller.
+func (s *Server) Reload() (core.ReloadReport, error) {
+	rep, err := s.models.Reload()
+	if err != nil {
+		s.log.Printf("reload failed: %v", err)
+		return rep, err
+	}
+	s.log.Printf("reload #%d: models [%s], default %q (added %v, removed %v)",
+		rep.Generation, strings.Join(rep.Models, " "), rep.Default, rep.Added, rep.Removed)
+	return rep, nil
 }
 
 // Listen binds the trace ingestion listener and, when adminAddr is
@@ -217,8 +267,10 @@ func (s *Server) Serve(ctx context.Context) error {
 	}
 	acceptErr := make(chan error, 1)
 	go func() { acceptErr <- s.acceptLoop() }()
+	var adminSrv *http.Server
 	if s.adminLn != nil {
-		go s.serveAdmin()
+		adminSrv = s.newAdminServer()
+		go s.serveAdmin(adminSrv)
 	}
 
 	var err error
@@ -234,8 +286,8 @@ func (s *Server) Serve(ctx context.Context) error {
 		}
 	}
 	s.drain()
-	if s.adminLn != nil {
-		s.adminLn.Close()
+	if adminSrv != nil {
+		s.shutdownAdmin(adminSrv)
 	}
 	return err
 }
@@ -326,8 +378,15 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.log.Printf("%s: rejected: %v", conn.RemoteAddr(), err)
 		return
 	}
-	h, err := s.reg.Register(fr.StreamName())
+	h, err := s.reg.Register(fr.StreamName(), fr.ModelName())
 	if err != nil {
+		// An unknown model name is a clean, immediate rejection: no stream
+		// is registered and the deferred conn.Close surfaces the refusal to
+		// the client as an ended stream (a write error on its next flush)
+		// rather than letting it pump events into a void.
+		if errors.Is(err, core.ErrUnknownModel) {
+			s.rejected.Add(1)
+		}
 		s.log.Printf("%s: register: %v", conn.RemoteAddr(), err)
 		return
 	}
@@ -348,7 +407,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.mu.Lock()
 	s.streams[h.ID()] = st
 	s.mu.Unlock()
-	s.log.Printf("%s: stream opened from %s", h.ID(), conn.RemoteAddr())
+	s.log.Printf("%s: stream opened from %s (model %s)", h.ID(), conn.RemoteAddr(), h.Model().Name)
 
 	ingestErr := make(chan error, 1)
 	go func() {
@@ -405,32 +464,39 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	res := StreamResult{
 		ID:              h.ID(),
+		Model:           h.Model().Name,
 		Windows:         stats.Windows,
 		GateTrips:       stats.GateTrips,
 		Anomalies:       stats.Anomalies,
 		RecordedWindows: ls.inner.WindowsRecorded(),
 		RecordedBytes:   ls.inner.BytesWritten(),
 		FullBytes:       st.fullBytes.Load(),
-		DroppedEvents:   st.q.dropped.Load(),
+		DroppedEvents:   st.q.Counters().Dropped,
 		SpanS:           (stats.End - stats.Start).Seconds(),
 		Clean:           clean,
 		Err:             errMsg,
 	}
+	final := ioTotals{
+		fullBytes:  res.FullBytes,
+		recBytes:   res.RecordedBytes,
+		recWindows: int64(res.RecordedWindows),
+		dropped:    res.DroppedEvents,
+	}
 	s.mu.Lock()
 	delete(s.streams, h.ID())
 	s.results = append(s.results, res)
-	s.closed.fullBytes += res.FullBytes
-	s.closed.recBytes += res.RecordedBytes
-	s.closed.recWindows += int64(res.RecordedWindows)
-	s.closed.dropped += res.DroppedEvents
+	s.closed = s.closed.add(final)
+	s.closedBy[res.Model] = s.closedBy[res.Model].add(final)
 	s.mu.Unlock()
 	h.Close()
-	s.log.Printf("%s: stream closed: %d windows, %d anomalies, %d B recorded (clean=%v)",
-		h.ID(), res.Windows, res.Anomalies, res.RecordedBytes, clean)
+	s.log.Printf("%s: stream closed: %d windows, %d anomalies, %d B recorded (model %s, clean=%v)",
+		h.ID(), res.Windows, res.Anomalies, res.RecordedBytes, res.Model, clean)
 }
 
 // Stats assembles the live aggregate report (served by /stats). Safe to
-// call at any time, including mid-serve.
+// call at any time, including mid-serve. The shape predates multi-model
+// serving and is kept byte-compatible: ModelPoints reports the current
+// default model (per-model breakdowns live on /metrics).
 func (s *Server) Stats() StatsReport {
 	total, live, closed := s.reg.Totals()
 	rep := StatsReport{
@@ -440,7 +506,7 @@ func (s *Server) Stats() StatsReport {
 		Anomalies:     total.Anomalies,
 		StreamsLive:   live,
 		StreamsClosed: closed,
-		ModelPoints:   s.opts.Learned.Model.Len(),
+		ModelPoints:   s.models.Default().Learned.Model.Len(),
 		UptimeS:       time.Since(s.start).Seconds(),
 	}
 	s.mu.Lock()
@@ -452,7 +518,7 @@ func (s *Server) Stats() StatsReport {
 		rep.FullBytes += st.fullBytes.Load()
 		rep.RecordedBytes += st.sink.bytes.Load()
 		rep.RecordedWindows += st.sink.windows.Load()
-		rep.DroppedEvents += st.q.dropped.Load()
+		rep.DroppedEvents += st.q.Counters().Dropped
 	}
 	s.mu.Unlock()
 	if rep.RecordedBytes > 0 {
@@ -474,12 +540,13 @@ func (s *Server) Streams() []StreamView {
 		if !ok {
 			continue // closed between the registry and server snapshots
 		}
+		qc := st.q.Counters()
 		out = append(out, StreamView{
 			StreamStatus:    status,
-			QueueDepth:      st.q.Depth(),
-			EventsIngested:  st.q.ingested.Load(),
-			EventsScored:    st.q.scored.Load(),
-			DroppedEvents:   st.q.dropped.Load(),
+			QueueDepth:      qc.Depth,
+			EventsIngested:  qc.Ingested,
+			EventsScored:    qc.Scored,
+			DroppedEvents:   qc.Dropped,
 			FullBytes:       st.fullBytes.Load(),
 			RecordedBytes:   st.sink.bytes.Load(),
 			RecordedWindows: st.sink.windows.Load(),

@@ -12,17 +12,25 @@ import (
 	"enduratrace/internal/trace"
 )
 
-// Framed stream format (version 1) — the network transport used by
-// `enduratrace serve`. A framed stream is the binary event codec cut into
+// Framed stream format — the network transport used by `enduratrace
+// serve`. A framed stream is the binary event codec cut into
 // length-prefixed frames so a receiver can make progress (and apply
 // backpressure) at frame granularity instead of waiting for EOF, which a
 // long-lived monitoring connection never reaches:
 //
 //	magic   "ETRS"            4 bytes
-//	version uvarint           (currently 1)
+//	version uvarint           (1 or 2)
 //	nlen    uvarint           stream-name length (may be 0)
 //	name    nlen bytes        client-chosen stream name (sink naming)
+//	mlen    uvarint           version >= 2 only: model-name length (may be 0)
+//	model   mlen bytes        version >= 2 only: requested model name
 //	frames  *                 repeated
+//
+// Version 2 adds the model-name field, letting a client pick which model
+// of a multi-model server scores its stream; an absent (version 1) or
+// empty model name means the server's default model. Writers emit version
+// 1 unless a model is named, so v2-aware clients stay readable by v1
+// servers whenever they don't use the new capability.
 //
 // each frame:
 //
@@ -37,10 +45,13 @@ import (
 // dropped ones.
 
 const (
-	frameMagic    = "ETRS"
-	frameVersion  = 1
-	maxFrameSize  = 1 << 24 // sanity bound when decoding
-	maxStreamName = 256
+	frameMagic      = "ETRS"
+	frameVersion1   = 1
+	frameVersion2   = 2
+	maxFrameVersion = frameVersion2
+	maxFrameSize    = 1 << 24 // sanity bound when decoding
+	maxStreamName   = 256
+	maxModelName    = 256
 	// DefaultFrameBytes is the auto-flush threshold of FrameWriter: a frame
 	// is emitted once its payload reaches this size (callers can still
 	// Flush earlier for latency).
@@ -66,16 +77,34 @@ type FrameWriter struct {
 
 // NewFrameWriter emits the stream header (with the client-chosen stream
 // name, which the server uses to label per-stream sinks) and returns the
-// writer. An empty name is allowed; the server then assigns one.
+// writer. An empty name is allowed; the server then assigns one. The
+// header is written as version 1, readable by every server.
 func NewFrameWriter(w io.Writer, name string) (*FrameWriter, error) {
+	return NewFrameWriterModel(w, name, "")
+}
+
+// NewFrameWriterModel is NewFrameWriter plus a requested model name: a
+// non-empty model asks a multi-model server to score this stream with
+// that model (unknown names are rejected at registration, closing the
+// connection) and upgrades the header to version 2. An empty model keeps
+// the version 1 header — byte-identical to NewFrameWriter — so clients
+// that don't pick a model remain compatible with version 1 servers.
+func NewFrameWriterModel(w io.Writer, name, model string) (*FrameWriter, error) {
 	if len(name) > maxStreamName {
 		return nil, fmt.Errorf("traceio: stream name %d bytes exceeds %d", len(name), maxStreamName)
+	}
+	if len(model) > maxModelName {
+		return nil, fmt.Errorf("traceio: model name %d bytes exceeds %d", len(model), maxModelName)
+	}
+	version := uint64(frameVersion1)
+	if model != "" {
+		version = frameVersion2
 	}
 	fw := &FrameWriter{w: bufio.NewWriterSize(w, 1<<16)}
 	if _, err := fw.w.WriteString(frameMagic); err != nil {
 		return nil, err
 	}
-	n := binary.PutUvarint(fw.scratch[:], frameVersion)
+	n := binary.PutUvarint(fw.scratch[:], version)
 	if _, err := fw.w.Write(fw.scratch[:n]); err != nil {
 		return nil, err
 	}
@@ -85,6 +114,15 @@ func NewFrameWriter(w io.Writer, name string) (*FrameWriter, error) {
 	}
 	if _, err := fw.w.WriteString(name); err != nil {
 		return nil, err
+	}
+	if version >= frameVersion2 {
+		n = binary.PutUvarint(fw.scratch[:], uint64(len(model)))
+		if _, err := fw.w.Write(fw.scratch[:n]); err != nil {
+			return nil, err
+		}
+		if _, err := fw.w.WriteString(model); err != nil {
+			return nil, err
+		}
 	}
 	return fw, nil
 }
@@ -153,15 +191,18 @@ func (fw *FrameWriter) Close() error {
 // returns io.EOF only on a clean end-of-stream marker; a connection that
 // dies mid-stream yields io.ErrUnexpectedEOF.
 type FrameReader struct {
-	r     *bufio.Reader
-	frame bytes.Reader
-	buf   []byte
-	name  string
-	last  time.Duration
-	err   error
+	r       *bufio.Reader
+	frame   bytes.Reader
+	buf     []byte
+	name    string
+	model   string
+	version int
+	last    time.Duration
+	err     error
 }
 
-// NewFrameReader validates the header and returns the reader.
+// NewFrameReader validates the header and returns the reader. Both header
+// versions are accepted: version 1 streams simply carry no model name.
 func NewFrameReader(r io.Reader) (*FrameReader, error) {
 	fr := &FrameReader{r: bufio.NewReaderSize(r, 1<<16)}
 	head := make([]byte, len(frameMagic))
@@ -175,29 +216,51 @@ func NewFrameReader(r io.Reader) (*FrameReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("traceio: reading frame version: %w", unexpectedEOF(err))
 	}
-	if v != frameVersion {
-		return nil, fmt.Errorf("traceio: unsupported framed stream version %d", v)
+	if v < frameVersion1 || v > maxFrameVersion {
+		return nil, fmt.Errorf("traceio: unsupported framed stream version %d (supported: 1..%d)", v, maxFrameVersion)
 	}
-	nlen, err := binary.ReadUvarint(fr.r)
-	if err != nil {
-		return nil, fmt.Errorf("traceio: reading stream-name length: %w", unexpectedEOF(err))
+	fr.version = int(v)
+	if fr.name, err = fr.headerString("stream", maxStreamName); err != nil {
+		return nil, err
 	}
-	if nlen > maxStreamName {
-		return nil, fmt.Errorf("traceio: stream name %d bytes exceeds %d", nlen, maxStreamName)
-	}
-	if nlen > 0 {
-		name := make([]byte, nlen)
-		if _, err := io.ReadFull(fr.r, name); err != nil {
-			return nil, fmt.Errorf("traceio: reading stream name: %w", unexpectedEOF(err))
+	if v >= frameVersion2 {
+		if fr.model, err = fr.headerString("model", maxModelName); err != nil {
+			return nil, err
 		}
-		fr.name = string(name)
 	}
 	return fr, nil
+}
+
+// headerString reads one length-prefixed header field.
+func (fr *FrameReader) headerString(what string, max uint64) (string, error) {
+	n, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return "", fmt.Errorf("traceio: reading %s-name length: %w", what, unexpectedEOF(err))
+	}
+	if n > max {
+		return "", fmt.Errorf("traceio: %s name %d bytes exceeds %d", what, n, max)
+	}
+	if n == 0 {
+		return "", nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(fr.r, b); err != nil {
+		return "", fmt.Errorf("traceio: reading %s name: %w", what, unexpectedEOF(err))
+	}
+	return string(b), nil
 }
 
 // StreamName returns the client-chosen stream name from the header ("" if
 // the client sent none).
 func (fr *FrameReader) StreamName() string { return fr.name }
+
+// ModelName returns the model the client asked to be scored with ("" for
+// version 1 headers and version 2 headers naming none — both mean the
+// server's default model).
+func (fr *FrameReader) ModelName() string { return fr.model }
+
+// Version returns the decoded header version (1 or 2).
+func (fr *FrameReader) Version() int { return fr.version }
 
 // Next implements trace.Reader.
 func (fr *FrameReader) Next() (trace.Event, error) {

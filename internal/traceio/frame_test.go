@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -142,6 +143,175 @@ func TestFrameTruncationDetected(t *testing.T) {
 	if lastErr == io.EOF || !errors.Is(lastErr, io.ErrUnexpectedEOF) {
 		t.Fatalf("truncated stream error %v, want io.ErrUnexpectedEOF (not clean EOF)", lastErr)
 	}
+}
+
+// TestFrameHeaderVersionMatrix pins the v1/v2 compatibility contract:
+// model-less writers emit version 1 bytes (readable by v1 servers),
+// model-naming writers emit version 2, and a v2-aware reader decodes both
+// with identical event payloads.
+func TestFrameHeaderVersionMatrix(t *testing.T) {
+	evs := randomEvents(40, 11)
+	cases := []struct {
+		name        string
+		model       string
+		wantVersion int
+	}{
+		{"v1-no-model", "", 1},
+		{"v2-model", "model-b", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			fw, err := NewFrameWriterModel(&buf, "cam", tc.model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range evs {
+				if err := fw.Write(ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := fw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			fr, err := NewFrameReader(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.Version() != tc.wantVersion {
+				t.Fatalf("header version %d, want %d", fr.Version(), tc.wantVersion)
+			}
+			if fr.StreamName() != "cam" || fr.ModelName() != tc.model {
+				t.Fatalf("header (%q, %q), want (cam, %q)", fr.StreamName(), fr.ModelName(), tc.model)
+			}
+			got, err := trace.ReadAll(fr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(evs) {
+				t.Fatalf("decoded %d events, want %d", len(got), len(evs))
+			}
+		})
+	}
+}
+
+// TestFrameWriterModelEmptyIsV1 asserts the byte-level compatibility
+// promise: naming no model produces exactly the version 1 stream the old
+// writer produced, so upgraded clients stay readable by old servers.
+func TestFrameWriterModelEmptyIsV1(t *testing.T) {
+	evs := randomEvents(20, 13)
+	encode := func(mk func(w *bytes.Buffer) (*FrameWriter, error)) []byte {
+		var buf bytes.Buffer
+		fw, err := mk(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range evs {
+			if err := fw.Write(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	v1 := encode(func(w *bytes.Buffer) (*FrameWriter, error) { return NewFrameWriter(w, "s") })
+	v2empty := encode(func(w *bytes.Buffer) (*FrameWriter, error) { return NewFrameWriterModel(w, "s", "") })
+	if !bytes.Equal(v1, v2empty) {
+		t.Fatal("NewFrameWriterModel with empty model is not byte-identical to NewFrameWriter")
+	}
+}
+
+func TestFrameHeaderRejects(t *testing.T) {
+	v2 := func(name, model string) []byte {
+		var buf bytes.Buffer
+		fw, err := NewFrameWriterModel(&buf, name, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	full := v2("s", "m")
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"magic-only", []byte(frameMagic)},
+		{"bad-version", append([]byte(frameMagic), 99)},
+		{"cut-name-length", full[:len(frameMagic)+1]},
+		{"cut-mid-name", full[:len(frameMagic)+2]},
+		{"cut-model-length", full[:len(frameMagic)+3]},
+		{"cut-mid-model", full[:len(frameMagic)+4]},
+		{"oversized-name", append(append([]byte(frameMagic), 1), 0xFF, 0xFF, 0x7F)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewFrameReader(bytes.NewReader(tc.in)); err == nil {
+				t.Fatalf("header %x accepted, want error", tc.in)
+			}
+		})
+	}
+	// Writer-side limits.
+	if _, err := NewFrameWriterModel(io.Discard, "s", strings.Repeat("m", maxModelName+1)); err == nil {
+		t.Fatal("oversized model name accepted by writer")
+	}
+}
+
+// FuzzFrameReader hammers the header + frame decoder with corrupt and
+// truncated inputs: it must never panic, and any error-free prefix must
+// decode into well-formed events.
+func FuzzFrameReader(f *testing.F) {
+	seed := func(name, model string, n int) []byte {
+		var buf bytes.Buffer
+		fw, err := NewFrameWriterModel(&buf, name, model)
+		if err != nil {
+			f.Fatal(err)
+		}
+		fw.FrameBytes = 64
+		for _, ev := range randomEvents(n, int64(n)+1) {
+			if err := fw.Write(ev); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := fw.Close(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed("", "", 0))
+	f.Add(seed("cam", "", 30))
+	f.Add(seed("cam", "model-b", 30))
+	full := seed("s", "m", 10)
+	for _, cut := range []int{1, 3, 5, 7, 9, len(full) / 2, len(full) - 1} {
+		if cut < len(full) {
+			f.Add(full[:cut])
+		}
+	}
+	f.Add([]byte("ETRSxxxx"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := NewFrameReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1<<16; i++ {
+			ev, err := fr.Next()
+			if err != nil {
+				// Whatever ended the stream must be sticky.
+				if _, err2 := fr.Next(); err2 == nil {
+					t.Fatal("Next succeeded after a terminal error")
+				}
+				return
+			}
+			if ev.TS < 0 {
+				t.Fatalf("decoded negative timestamp %v", ev.TS)
+			}
+		}
+	})
 }
 
 func TestFrameBadMagic(t *testing.T) {
