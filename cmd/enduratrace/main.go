@@ -7,6 +7,8 @@
 //	enduratrace sweep    run a parallel ablation sweep with multi-seed CIs
 //	enduratrace soak     run one long-horizon cell with streaming scoring
 //	enduratrace serve    network daemon monitoring live TCP trace streams
+//	enduratrace replay   re-score a captured anomaly store or raw trace
+//	                     against any model — regression check / alpha tuner
 //
 // Every subcommand prints a human summary to stderr; machine-readable JSON
 // goes to stdout (monitor/learn/serve behind -json, eval/sweep/soak always).
@@ -40,6 +42,8 @@ func main() {
 		err = cmdSoak(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -71,7 +75,10 @@ subcommands:
   serve    long-lived daemon: accept live trace streams over TCP, score
            each against a registry of named models (hot-reloadable via
            SIGHUP or POST /reload), expose HTTP admin + Prometheus
-           /metrics endpoints
+           /metrics endpoints; -anomaly-store persists every gate trip
+  replay   re-score a captured anomaly store (or a raw .etrc trace)
+           against any registry model: per-incident still-detected /
+           lost / new-detection verdicts, -alpha threshold what-ifs
 
 run 'enduratrace <subcommand> -h' for per-subcommand flags, or see
 docs/CLI.md for the full reference.

@@ -12,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"enduratrace/internal/anomalystore"
 	"enduratrace/internal/core"
 	"enduratrace/internal/eval"
 	"enduratrace/internal/mediasim"
@@ -28,6 +29,9 @@ func cmdServe(args []string) error {
 	admin := fs.String("admin", "127.0.0.1:9465", "HTTP admin address (/healthz /streams /stats /metrics, POST /reload; '' disables)")
 	recDir := fs.String("rec-dir", "", "record each stream's anomalous windows to <dir>/<stream>.etrc ('' = stat-only)")
 	compress := fs.Int("compress", -1, "flate level for -rec-dir sinks (-1 = no compression)")
+	anomDir := fs.String("anomaly-store", "", "persist every gate trip (context windows + scores) to a segmented store in this directory; query via GET /anomalies, re-score via 'enduratrace replay'")
+	anomCtx := fs.Int("anomaly-context", 0, "pre-trip context windows per stored incident (0 = default 2, negative = none)")
+	anomSegBytes := fs.Int64("anomaly-segment-bytes", 0, "anomaly store segment rotation size in bytes (0 = default 8 MiB)")
 	queue := fs.Int("queue", 1024, "per-stream bounded event queue length")
 	bp := fs.String("backpressure", "block", "full-queue policy: block (TCP backpressure) or drop-oldest")
 	alpha := fs.Float64("alpha", 0, "override the model's LOF threshold (0 = keep; single-model and in-process selftest only)")
@@ -52,6 +56,21 @@ func cmdServe(args []string) error {
 		if sinks, err = recorder.NewDirFactory(*recDir, *compress); err != nil {
 			return err
 		}
+	}
+	var anomalies *anomalystore.Store
+	if *anomDir != "" {
+		anomalies, err = anomalystore.Open(*anomDir, anomalystore.Options{SegmentBytes: *anomSegBytes})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			st := anomalies.Stats()
+			if cerr := anomalies.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "serve: closing anomaly store: %v\n", cerr)
+			}
+			fmt.Fprintf(os.Stderr, "serve: anomaly store %s: %d incidents (%d recovered from earlier runs), %d segments, %d bytes\n",
+				st.Dir, st.Incidents, st.Recovered, st.Segments, st.Bytes)
+		}()
 	}
 
 	models, cleanup, err := serveRegistry(serveRegistryOptions{
@@ -80,24 +99,29 @@ func cmdServe(args []string) error {
 			QueueLen:     *queue,
 			Backpressure: policy,
 			Sinks:        sinks,
+			Anomalies:    anomalies,
 			Log:          os.Stderr,
 		}
 		if models.Len() > 1 {
 			// Exercise the whole matrix: one v1-framed client on the
 			// default model, the rest naming each registry model in turn,
-			// with a hot reload fired while everything is mid-stream.
+			// with a hot reload fired while everything is mid-stream — and
+			// one doomed client whose rejection the books must show.
 			opts.ClientModels = append([]string{""}, models.Names()...)
 			opts.ReloadMidRun = true
+			opts.RejectClients = 1
 		}
 		return serveSelftest(opts, *jsonOut)
 	}
 
 	srv, err := serve.New(serve.Options{
-		Models:       models,
-		QueueLen:     *queue,
-		Backpressure: policy,
-		Sinks:        sinks,
-		Log:          os.Stderr,
+		Models:         models,
+		QueueLen:       *queue,
+		Backpressure:   policy,
+		Sinks:          sinks,
+		Anomalies:      anomalies,
+		AnomalyContext: *anomCtx,
+		Log:            os.Stderr,
 	})
 	if err != nil {
 		return err
@@ -289,6 +313,11 @@ func serveSelftest(opts serve.SelftestOptions, jsonOut bool) error {
 		rep.MetricsSamples)
 	for model, w := range rep.ModelWindows {
 		fmt.Fprintf(os.Stderr, "serve: selftest model %q scored %d windows\n", model, w)
+	}
+	if opts.Anomalies != nil {
+		st := opts.Anomalies.Stats()
+		fmt.Fprintf(os.Stderr, "serve: selftest anomaly store: %d incidents persisted == %d gate trips (%d segments, %d bytes)\n",
+			rep.Stats.AnomalyIncidents, rep.Stats.GateTrips, st.Segments, st.Bytes)
 	}
 	if rep.Reload != nil {
 		fmt.Fprintf(os.Stderr, "serve: selftest mid-run reload #%d OK (models [%s], default %q)\n",

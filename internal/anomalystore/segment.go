@@ -1,0 +1,364 @@
+package anomalystore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// SegmentScan summarises one pass over a segment's records.
+type SegmentScan struct {
+	// Version is the decoded format version.
+	Version int
+	// Records counts intact records (length, CRC, and decode all valid).
+	Records int
+	// FirstSeq/LastSeq are the sequence range of intact records (0/0 when
+	// the segment holds none).
+	FirstSeq, LastSeq uint64
+	// Sealed reports whether the end-of-records marker (and so the tail
+	// index) was reached; a segment that was active at crash time is not
+	// sealed.
+	Sealed bool
+	// Truncated reports that the scan stopped at a torn or corrupt tail —
+	// a partial record, a CRC mismatch, or a payload that fails to decode.
+	// Everything counted in Records precedes the damage.
+	Truncated bool
+	// Bytes is the number of bytes consumed, including the header.
+	Bytes int64
+}
+
+// errStopScan lets a ScanSegment callback end the walk early without
+// flagging the segment as damaged.
+var errStopScan = errors.New("anomalystore: stop scan")
+
+// ScanSegment reads segment bytes sequentially, invoking fn for every
+// intact record (seq is decoded from the payload; the payload slice is
+// only valid during the call). Corrupt or truncated input — including a
+// segment cut anywhere by a crash — terminates the scan cleanly with
+// Truncated set; it is never an error and must never panic. An error is
+// returned only for a bad header, a failing reader, or an fn failure.
+func ScanSegment(r io.Reader, fn func(seq uint64, payload []byte) error) (SegmentScan, error) {
+	var scan SegmentScan
+	cr := &countReader{r: r}
+	br := bufio.NewReaderSize(cr, 1<<16)
+	defer func() { scan.Bytes = cr.n - int64(br.Buffered()) }()
+
+	head := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return scan, fmt.Errorf("anomalystore: reading segment header: %w", unexpectedEOF(err))
+	}
+	if string(head) != segMagic {
+		return scan, fmt.Errorf("anomalystore: bad magic, not an anomaly segment")
+	}
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return scan, fmt.Errorf("anomalystore: reading segment version: %w", unexpectedEOF(err))
+	}
+	if v != segVersion {
+		return scan, fmt.Errorf("anomalystore: unsupported segment version %d", v)
+	}
+	scan.Version = int(v)
+	if _, err := binary.ReadUvarint(br); err != nil { // baseSeq
+		return scan, fmt.Errorf("anomalystore: reading segment base sequence: %w", unexpectedEOF(err))
+	}
+
+	var payload []byte
+	for {
+		plen, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			// EOF exactly at a record boundary: an unsealed (crashed)
+			// segment whose last record made it out whole.
+			return scan, nil
+		}
+		if err != nil {
+			scan.Truncated = true
+			return scan, nil
+		}
+		if plen == 0 {
+			scan.Sealed = true
+			return scan, nil
+		}
+		if plen > maxRecordSize {
+			scan.Truncated = true
+			return scan, nil
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(br, crcb[:]); err != nil {
+			scan.Truncated = true
+			return scan, nil
+		}
+		want := binary.LittleEndian.Uint32(crcb[:])
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			scan.Truncated = true
+			return scan, nil
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			scan.Truncated = true
+			return scan, nil
+		}
+		seq, n := binary.Uvarint(payload)
+		if n <= 0 {
+			scan.Truncated = true
+			return scan, nil
+		}
+		if fn != nil {
+			if err := fn(seq, payload); err != nil {
+				if err == errStopScan {
+					return scan, nil
+				}
+				return scan, err
+			}
+		}
+		if scan.Records == 0 {
+			scan.FirstSeq = seq
+		}
+		scan.LastSeq = seq
+		scan.Records++
+	}
+}
+
+// countReader counts bytes read from the underlying reader so SegmentScan
+// can report consumption despite bufio read-ahead.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// scanSegmentFile runs ScanSegment over one file.
+func scanSegmentFile(path string, fn func(seq uint64, payload []byte) error) (SegmentScan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return SegmentScan{}, fmt.Errorf("anomalystore: %w", err)
+	}
+	defer f.Close()
+	scan, err := ScanSegment(f, fn)
+	if err != nil {
+		return scan, fmt.Errorf("anomalystore: segment %s: %w", path, err)
+	}
+	return scan, nil
+}
+
+// readSegmentIndex loads the sparse index from a sealed segment's tail.
+// ok is false (with no error) when the segment has no intact index —
+// unsealed, too short, or a corrupt footer — in which case callers fall
+// back to a sequential scan.
+func readSegmentIndex(path string) (entries []indexEntry, ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("anomalystore: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, fmt.Errorf("anomalystore: %w", err)
+	}
+	const trailer = 4 + 4 + len(indexMagic) // crc + ilen + magic
+	if st.Size() < int64(trailer) {
+		return nil, false, nil
+	}
+	var tail [trailer]byte
+	if _, err := f.ReadAt(tail[:], st.Size()-int64(trailer)); err != nil {
+		return nil, false, nil
+	}
+	if string(tail[8:]) != indexMagic {
+		return nil, false, nil
+	}
+	wantCRC := binary.LittleEndian.Uint32(tail[:4])
+	ilen := int64(binary.LittleEndian.Uint32(tail[4:8]))
+	if ilen < 1 || ilen > st.Size()-int64(trailer) {
+		return nil, false, nil
+	}
+	idx := make([]byte, ilen)
+	if _, err := f.ReadAt(idx, st.Size()-int64(trailer)-ilen); err != nil {
+		return nil, false, nil
+	}
+	if crc32.ChecksumIEEE(idx) != wantCRC {
+		return nil, false, nil
+	}
+	d := &decoder{b: idx}
+	count := d.uvarint("index count")
+	if d.err != nil || count > uint64(ilen) {
+		return nil, false, nil
+	}
+	entries = make([]indexEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		e := indexEntry{seq: d.uvarint("index seq"), off: d.uvarint("index offset")}
+		if d.err != nil {
+			return nil, false, nil
+		}
+		entries = append(entries, e)
+	}
+	return entries, true, nil
+}
+
+// Reader is the read side of a store directory: it walks every segment in
+// sequence order and fetches single incidents via the sealed segments'
+// tail indexes. A Reader takes no lock on the directory; reading while a
+// Store appends is safe (it simply stops at the current tail).
+type Reader struct {
+	dir  string
+	segs []segmentFile
+}
+
+// OpenReader opens a store directory for reading.
+func OpenReader(dir string) (*Reader, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{dir: dir, segs: segs}, nil
+}
+
+// Segments returns the number of segment files.
+func (r *Reader) Segments() int { return len(r.segs) }
+
+// Walk decodes every intact incident across all segments in sequence
+// order and invokes fn. It returns the per-segment scans (damage is
+// reported there, not as an error). fn returning an error aborts the walk.
+func (r *Reader) Walk(fn func(*Incident) error) ([]SegmentScan, error) {
+	scans := make([]SegmentScan, 0, len(r.segs))
+	for _, seg := range r.segs {
+		scan, err := scanSegmentFile(seg.path, func(seq uint64, payload []byte) error {
+			inc, derr := DecodeIncident(payload)
+			if derr != nil {
+				// A CRC-clean payload that fails decode is tail damage in
+				// disguise (e.g. a crashed write of a corrupt buffer) —
+				// stop this segment like any other truncation.
+				return errStopScan
+			}
+			return fn(inc)
+		})
+		if err != nil {
+			return scans, err
+		}
+		scans = append(scans, scan)
+	}
+	return scans, nil
+}
+
+// ErrNotFound is returned by Get for a sequence number not present in the
+// store.
+var ErrNotFound = errors.New("anomalystore: incident not found")
+
+// Get fetches one incident by sequence number. Sealed segments are
+// located via their tail index (seek to the nearest preceding entry, then
+// scan forward); unsealed segments fall back to a sequential scan.
+func (r *Reader) Get(seq uint64) (*Incident, error) {
+	// Segments are named by base sequence: the owner is the last segment
+	// whose base is <= seq.
+	for i := len(r.segs) - 1; i >= 0; i-- {
+		seg := r.segs[i]
+		if seg.base > seq {
+			continue
+		}
+		if idx, ok, err := readSegmentIndex(seg.path); err != nil {
+			return nil, err
+		} else if ok {
+			return r.getIndexed(seg, idx, seq)
+		}
+		return r.getScan(seg, seq)
+	}
+	return nil, ErrNotFound
+}
+
+func (r *Reader) getIndexed(seg segmentFile, idx []indexEntry, seq uint64) (*Incident, error) {
+	// Nearest index entry at or before seq (entries are ascending).
+	off := int64(-1)
+	for _, e := range idx {
+		if e.seq > seq {
+			break
+		}
+		off = int64(e.off)
+	}
+	if off < 0 {
+		return nil, ErrNotFound
+	}
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return nil, fmt.Errorf("anomalystore: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("anomalystore: %w", err)
+	}
+	return findInRecords(bufio.NewReaderSize(f, 1<<16), seq)
+}
+
+func (r *Reader) getScan(seg segmentFile, seq uint64) (*Incident, error) {
+	var found *Incident
+	_, err := scanSegmentFile(seg.path, func(got uint64, payload []byte) error {
+		if got != seq {
+			return nil
+		}
+		inc, derr := DecodeIncident(payload)
+		if derr != nil {
+			return derr
+		}
+		found = inc
+		return errStopScan
+	})
+	if err != nil {
+		return nil, err
+	}
+	if found == nil {
+		return nil, ErrNotFound
+	}
+	return found, nil
+}
+
+// findInRecords reads length-prefixed records (no segment header) from br
+// until it decodes the record with the wanted sequence number.
+func findInRecords(br *bufio.Reader, seq uint64) (*Incident, error) {
+	var payload []byte
+	for {
+		plen, err := binary.ReadUvarint(br)
+		if err != nil || plen == 0 || plen > maxRecordSize {
+			return nil, ErrNotFound
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(br, crcb[:]); err != nil {
+			return nil, ErrNotFound
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, ErrNotFound
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcb[:]) {
+			return nil, ErrNotFound
+		}
+		got, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, ErrNotFound
+		}
+		if got == seq {
+			return DecodeIncident(payload)
+		}
+		if got > seq {
+			return nil, ErrNotFound
+		}
+	}
+}

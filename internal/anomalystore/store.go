@@ -1,0 +1,716 @@
+// Package anomalystore is the embedded forensic record of the monitor: an
+// append-only store of gate-trip incidents that survives daemon restarts
+// and crashes. The paper's whole point is trace *reduction* — keep only
+// the windows around an anomaly so a human can do forensics later — so
+// the evidence must outlive the process that captured it. Each incident
+// carries the context windows, the LOF score and gate distance, the model
+// that scored it (name + registry generation), the stream id, and wall
+// and trace timestamps.
+//
+// On disk the store is a directory of append-only segment files. Each
+// segment is length-prefixed records with a CRC32 per record over the
+// existing traceio binary event codec, a sparse in-file index appended
+// when the segment is sealed, and size-based rotation:
+//
+//	segment file (<firstSeq as %016d>.seg):
+//
+//	  magic   "EASG"            4 bytes
+//	  version uvarint           (currently 1)
+//	  baseSeq uvarint           sequence number of the first record
+//	  records *                 repeated
+//	  sealed segments then end with:
+//	  0       uvarint           end-of-records marker
+//	  index   (see below)
+//
+//	each record:
+//
+//	  plen    uvarint           payload length (> 0)
+//	  crc     uint32 LE         CRC-32 (IEEE) of the payload
+//	  payload plen bytes        one encoded Incident
+//
+//	index (sealed segments only):
+//
+//	  count   uvarint           number of entries (every IndexEvery-th record)
+//	  entries count ×           uvarint seq, uvarint file offset of the record
+//	  crc     uint32 LE         CRC-32 (IEEE) of count+entries
+//	  ilen    uint32 LE         byte length of count+entries
+//	  magic   "EAIX"            4 bytes
+//
+// The fixed-size trailer (ilen + magic) lets a reader load the index of a
+// sealed segment from the file tail without scanning; segments that were
+// active when the daemon died have no index and are scanned sequentially,
+// with the CRC detecting (never panicking on) a truncated tail record.
+// Appends are fsynced (per record by default, see Options.SyncEvery), and
+// rotation always fsyncs before opening the next segment, so a crash loses
+// at most the unsynced tail of the active segment — never a previously
+// rotated one.
+package anomalystore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"enduratrace/internal/trace"
+	"enduratrace/internal/traceio"
+	"enduratrace/internal/window"
+)
+
+const (
+	segMagic   = "EASG"
+	segVersion = 1
+	indexMagic = "EAIX"
+	segExt     = ".seg"
+
+	// maxRecordSize bounds one incident record when decoding; corrupt
+	// length fields must not drive huge allocations.
+	maxRecordSize = 16 << 20
+	// maxNameLen bounds the stream/model name fields when decoding.
+	maxNameLen = 4096
+	// maxIncidentWindows bounds the context-window count when decoding.
+	maxIncidentWindows = 4096
+)
+
+// Incident is one persisted gate trip: the window that tripped the gate
+// (the last entry of Windows, identified by WindowIndex), the context
+// windows preceding it, and everything a forensic replay needs to re-score
+// the evidence later.
+type Incident struct {
+	// Seq is the store-assigned, strictly increasing sequence number.
+	Seq uint64
+	// Stream is the registry-assigned stream id the trip happened on.
+	Stream string
+	// Model names the registry model that scored the window; ModelGen is
+	// the registry's hot-reload generation at stream registration, so two
+	// same-named models from different reloads stay distinguishable.
+	Model    string
+	ModelGen int64
+	// Wall is the wall-clock time the trip was recorded.
+	Wall time.Time
+	// Score is the LOF the monitor computed; Anomalous reports whether it
+	// reached the model's Alpha (the recorded outcome replay compares
+	// against). GateDist is the gate distance that tripped LOF scoring.
+	Score     float64
+	GateDist  float64
+	Alpha     float64
+	Anomalous bool
+	// WindowIndex/Start/End locate the tripped window in stream trace time.
+	WindowIndex int
+	Start, End  time.Duration
+	// Windows holds the pre-trip context windows followed by the tripped
+	// window itself (always last).
+	Windows []window.Window
+}
+
+// Principal returns the tripped window itself (the one WindowIndex names,
+// by convention the last of Windows) and false when the incident carries
+// no windows at all.
+func (inc *Incident) Principal() (window.Window, bool) {
+	for _, w := range inc.Windows {
+		if w.Index == inc.WindowIndex {
+			return w, true
+		}
+	}
+	if n := len(inc.Windows); n > 0 {
+		return inc.Windows[n-1], true
+	}
+	return window.Window{}, false
+}
+
+// IncidentMeta is the window-free view of an incident served by the
+// /anomalies admin endpoint and kept in the store's recent ring.
+type IncidentMeta struct {
+	Seq       uint64  `json:"seq"`
+	Stream    string  `json:"stream"`
+	Model     string  `json:"model"`
+	ModelGen  int64   `json:"model_gen"`
+	Wall      string  `json:"wall"`
+	Score     float64 `json:"score"`
+	GateDist  float64 `json:"gate_dist"`
+	Alpha     float64 `json:"alpha"`
+	Anomalous bool    `json:"anomalous"`
+	StartS    float64 `json:"start_s"`
+	EndS      float64 `json:"end_s"`
+	Windows   int     `json:"windows"`
+	Events    int     `json:"events"`
+}
+
+// Meta returns the incident's window-free summary.
+func (inc *Incident) Meta() IncidentMeta {
+	events := 0
+	for _, w := range inc.Windows {
+		events += len(w.Events)
+	}
+	return IncidentMeta{
+		Seq:       inc.Seq,
+		Stream:    inc.Stream,
+		Model:     inc.Model,
+		ModelGen:  inc.ModelGen,
+		Wall:      inc.Wall.UTC().Format(time.RFC3339Nano),
+		Score:     inc.Score,
+		GateDist:  inc.GateDist,
+		Alpha:     inc.Alpha,
+		Anomalous: inc.Anomalous,
+		StartS:    inc.Start.Seconds(),
+		EndS:      inc.End.Seconds(),
+		Windows:   len(inc.Windows),
+		Events:    events,
+	}
+}
+
+// Options configures a Store.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 8 MiB). Rotation seals the segment: index appended, file
+	// fsynced and closed — after that a crash cannot touch it.
+	SegmentBytes int64
+	// IndexEvery is the sparse-index stride: every IndexEvery-th record of
+	// a segment gets an index entry (default 16).
+	IndexEvery int
+	// SyncEvery is the fsync cadence in records: 1 (the default) fsyncs
+	// after every append, so a crash loses at most the record being
+	// written; larger values trade tail-loss for throughput. Rotation and
+	// Close always fsync regardless.
+	SyncEvery int
+	// Recent is how many incident metas the in-memory recent ring retains
+	// for the /anomalies listing (default 256).
+	Recent int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.IndexEvery <= 0 {
+		o.IndexEvery = 16
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	if o.Recent <= 0 {
+		o.Recent = 256
+	}
+	return o
+}
+
+// StoreStats is a point-in-time view of the store's books.
+type StoreStats struct {
+	Dir string `json:"dir"`
+	// Appended counts incidents appended by this Store since Open;
+	// Recovered counts intact records found in pre-existing segments at
+	// Open; Incidents is their sum (everything on disk).
+	Appended  int64 `json:"appended"`
+	Recovered int64 `json:"recovered"`
+	Incidents int64 `json:"incidents"`
+	// Anomalous counts appended incidents whose LOF reached alpha.
+	Anomalous int64 `json:"anomalous"`
+	// Segments counts segment files (sealed + active); Bytes is their
+	// total size.
+	Segments int    `json:"segments"`
+	Bytes    int64  `json:"bytes"`
+	LastSeq  uint64 `json:"last_seq"`
+}
+
+// indexEntry is one sparse-index row: the sequence number and file offset
+// of a record.
+type indexEntry struct {
+	seq uint64
+	off uint64
+}
+
+// Store is the write side: a single-directory incident log. Append is safe
+// for concurrent use (every serve stream appends into one Store).
+type Store struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	f          *os.File
+	off        int64
+	segBase    uint64
+	segRecords int
+	index      []indexEntry
+	unsynced   int
+	nextSeq    uint64
+	sealedSegs int
+	sealedB    int64
+	recovered  int64
+	appended   int64
+	anoms      int64
+	recent     []IncidentMeta
+	buf        []byte
+	closed     bool
+}
+
+// Open creates dir if needed, scans any existing segments (recovering the
+// sequence counter past every intact record — a truncated tail from a
+// crash is skipped, not fatal), and returns a Store appending to a fresh
+// segment. The previously active segment is left as-is; readers recover
+// its complete records by scanning.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("anomalystore: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts, nextSeq: 1}
+	for _, seg := range segs {
+		scan, err := scanSegmentFile(seg.path, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.recovered += int64(scan.Records)
+		s.sealedSegs++
+		s.sealedB += scan.Bytes
+		if scan.Records > 0 && scan.LastSeq >= s.nextSeq {
+			s.nextSeq = scan.LastSeq + 1
+		}
+		if seg.base >= s.nextSeq {
+			// A crashed segment may hold no intact records; its filename
+			// still reserves the sequence numbers it was opened for.
+			s.nextSeq = seg.base + 1
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Append persists one incident and returns its assigned sequence number.
+// The caller's Windows slices are encoded immediately and not retained.
+func (s *Store) Append(inc Incident) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("anomalystore: append on closed store")
+	}
+	if s.f != nil && s.off >= s.opts.SegmentBytes {
+		if err := s.sealLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if s.f == nil {
+		if err := s.openSegmentLocked(); err != nil {
+			return 0, err
+		}
+	}
+
+	inc.Seq = s.nextSeq
+	payload, err := appendIncident(s.buf[:0], &inc)
+	if err != nil {
+		return 0, err
+	}
+	s.buf = payload[:0] // keep the grown buffer
+	if len(payload) > maxRecordSize {
+		return 0, fmt.Errorf("anomalystore: incident record %d bytes exceeds %d", len(payload), maxRecordSize)
+	}
+
+	recOff := s.off
+	var head [binary.MaxVarintLen64 + 4]byte
+	n := binary.PutUvarint(head[:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(head[n:], crc32.ChecksumIEEE(payload))
+	if _, err := s.f.Write(head[:n+4]); err != nil {
+		return 0, fmt.Errorf("anomalystore: %w", err)
+	}
+	if _, err := s.f.Write(payload); err != nil {
+		return 0, fmt.Errorf("anomalystore: %w", err)
+	}
+	s.off += int64(n+4) + int64(len(payload))
+
+	if s.segRecords%s.opts.IndexEvery == 0 {
+		s.index = append(s.index, indexEntry{seq: inc.Seq, off: uint64(recOff)})
+	}
+	s.segRecords++
+	s.nextSeq++
+	s.appended++
+	if inc.Anomalous {
+		s.anoms++
+	}
+	s.recent = append(s.recent, inc.Meta())
+	if len(s.recent) > s.opts.Recent {
+		s.recent = s.recent[len(s.recent)-s.opts.Recent:]
+	}
+
+	s.unsynced++
+	if s.unsynced >= s.opts.SyncEvery {
+		if err := s.f.Sync(); err != nil {
+			return 0, fmt.Errorf("anomalystore: %w", err)
+		}
+		s.unsynced = 0
+	}
+	return inc.Seq, nil
+}
+
+// Sync forces the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	s.unsynced = 0
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("anomalystore: %w", err)
+	}
+	return nil
+}
+
+// Close seals the active segment (index, fsync) and closes the store.
+// Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.f == nil {
+		return nil
+	}
+	return s.sealLocked()
+}
+
+// Stats returns the store's current books.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		Dir:       s.dir,
+		Appended:  s.appended,
+		Recovered: s.recovered,
+		Incidents: s.appended + s.recovered,
+		Anomalous: s.anoms,
+		Segments:  s.sealedSegs,
+		Bytes:     s.sealedB,
+		LastSeq:   s.nextSeq - 1,
+	}
+	if s.f != nil {
+		st.Segments++
+		st.Bytes += s.off
+	}
+	return st
+}
+
+// Recent returns up to n of the most recently appended incident metas,
+// newest last. n <= 0 returns the whole ring.
+func (s *Store) Recent(n int) []IncidentMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.recent
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	cp := make([]IncidentMeta, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// Get fetches one incident by sequence number, reading from disk (sealed
+// segments via their tail index, the active segment by scan). Safe to call
+// while appends continue.
+func (s *Store) Get(seq uint64) (*Incident, error) {
+	s.mu.Lock()
+	dir := s.dir
+	s.mu.Unlock()
+	r, err := OpenReader(dir)
+	if err != nil {
+		return nil, err
+	}
+	return r.Get(seq)
+}
+
+// openSegmentLocked creates the next segment file and writes its header.
+func (s *Store) openSegmentLocked() error {
+	base := s.nextSeq
+	path := filepath.Join(s.dir, segmentName(base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("anomalystore: %w", err)
+	}
+	var head [len(segMagic) + 2*binary.MaxVarintLen64]byte
+	n := copy(head[:], segMagic)
+	n += binary.PutUvarint(head[n:], segVersion)
+	n += binary.PutUvarint(head[n:], base)
+	if _, err := f.Write(head[:n]); err != nil {
+		f.Close()
+		return fmt.Errorf("anomalystore: %w", err)
+	}
+	s.f = f
+	s.off = int64(n)
+	s.segBase = base
+	s.segRecords = 0
+	s.index = s.index[:0]
+	s.unsynced = 0
+	// Make the new directory entry itself durable: a rotated-away segment
+	// that the directory forgot would be as lost as an unsynced one.
+	syncDir(s.dir)
+	return nil
+}
+
+// sealLocked appends the end-of-records marker and the sparse index,
+// fsyncs, and closes the active segment.
+func (s *Store) sealLocked() error {
+	f := s.f
+	s.f = nil
+	idx := make([]byte, 0, 16+len(s.index)*2*binary.MaxVarintLen64)
+	idx = binary.AppendUvarint(idx, uint64(len(s.index)))
+	for _, e := range s.index {
+		idx = binary.AppendUvarint(idx, e.seq)
+		idx = binary.AppendUvarint(idx, e.off)
+	}
+	var tail [1 + 4 + 4 + len(indexMagic)]byte
+	tail[0] = 0 // uvarint(0): end-of-records marker
+	out := append(tail[:1], idx...)
+	var crcb [8]byte
+	binary.LittleEndian.PutUint32(crcb[:4], crc32.ChecksumIEEE(idx))
+	binary.LittleEndian.PutUint32(crcb[4:], uint32(len(idx)))
+	out = append(out, crcb[:]...)
+	out = append(out, indexMagic...)
+	_, werr := f.Write(out)
+	s.off += int64(len(out))
+	serr := f.Sync()
+	cerr := f.Close()
+	s.sealedSegs++
+	s.sealedB += s.off
+	s.off = 0
+	s.index = s.index[:0]
+	if werr != nil {
+		return fmt.Errorf("anomalystore: sealing segment: %w", werr)
+	}
+	if serr != nil {
+		return fmt.Errorf("anomalystore: syncing segment: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("anomalystore: closing segment: %w", cerr)
+	}
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory (durability of create/rename).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+func segmentName(base uint64) string {
+	return fmt.Sprintf("%016d%s", base, segExt)
+}
+
+type segmentFile struct {
+	path string
+	base uint64
+}
+
+// listSegments returns dir's segment files sorted by base sequence.
+func listSegments(dir string) ([]segmentFile, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+segExt))
+	if err != nil {
+		return nil, fmt.Errorf("anomalystore: %w", err)
+	}
+	segs := make([]segmentFile, 0, len(paths))
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), segExt)
+		base, err := strconv.ParseUint(name, 10, 64)
+		if err != nil {
+			continue // not one of ours
+		}
+		segs = append(segs, segmentFile{path: p, base: base})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	return segs, nil
+}
+
+// ---- incident encoding ----
+
+// appendIncident appends the record-payload encoding of inc to buf.
+func appendIncident(buf []byte, inc *Incident) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, inc.Seq)
+	buf = binary.AppendUvarint(buf, uint64(inc.Wall.UnixNano()))
+	buf = appendLenBytes(buf, []byte(inc.Stream))
+	buf = appendLenBytes(buf, []byte(inc.Model))
+	buf = binary.AppendUvarint(buf, uint64(inc.ModelGen))
+	buf = appendFloat64(buf, inc.Score)
+	buf = appendFloat64(buf, inc.GateDist)
+	buf = appendFloat64(buf, inc.Alpha)
+	var flags uint64
+	if inc.Anomalous {
+		flags |= 1
+	}
+	buf = binary.AppendUvarint(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(inc.WindowIndex))
+	buf = binary.AppendUvarint(buf, uint64(inc.Start))
+	buf = binary.AppendUvarint(buf, uint64(inc.End))
+	if len(inc.Windows) > maxIncidentWindows {
+		return nil, fmt.Errorf("anomalystore: incident carries %d windows, limit %d", len(inc.Windows), maxIncidentWindows)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(inc.Windows)))
+	for _, w := range inc.Windows {
+		buf = binary.AppendUvarint(buf, uint64(w.Index))
+		buf = binary.AppendUvarint(buf, uint64(w.Start))
+		buf = binary.AppendUvarint(buf, uint64(w.End))
+		blob, err := encodeEvents(w.Events)
+		if err != nil {
+			return nil, err
+		}
+		buf = appendLenBytes(buf, blob)
+	}
+	return buf, nil
+}
+
+// encodeEvents serialises a window's events as one self-contained binary
+// trace blob (the existing traceio codec, header included).
+func encodeEvents(evs []trace.Event) ([]byte, error) {
+	var b bytes.Buffer
+	bw, err := traceio.NewBinaryWriter(&b)
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range evs {
+		if err := bw.Write(ev); err != nil {
+			return nil, fmt.Errorf("anomalystore: encoding window events: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+func appendLenBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendFloat64(buf []byte, v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return append(buf, b[:]...)
+}
+
+// decoder is a bounds-checked cursor over one record payload. Every length
+// field is validated against the remaining bytes before any allocation, so
+// corrupt input fails cleanly instead of panicking or ballooning memory.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("anomalystore: decoding %s: %w", what, io.ErrUnexpectedEOF)
+	}
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) bytes(what string, n uint64, max int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(max) || n > uint64(len(d.b)-d.off) {
+		d.fail(what)
+		return nil
+	}
+	out := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return out
+}
+
+func (d *decoder) float64(what string) float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b)-d.off < 8 {
+		d.fail(what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+// DecodeIncident decodes one record payload. Arbitrary (corrupt) input
+// must yield an error, never a panic — the fuzz target hammers this.
+func DecodeIncident(payload []byte) (*Incident, error) {
+	d := &decoder{b: payload}
+	inc := &Incident{}
+	inc.Seq = d.uvarint("seq")
+	inc.Wall = time.Unix(0, int64(d.uvarint("wall"))).UTC()
+	inc.Stream = string(d.bytes("stream", d.uvarint("stream length"), maxNameLen))
+	inc.Model = string(d.bytes("model", d.uvarint("model length"), maxNameLen))
+	inc.ModelGen = int64(d.uvarint("model generation"))
+	inc.Score = d.float64("score")
+	inc.GateDist = d.float64("gate distance")
+	inc.Alpha = d.float64("alpha")
+	flags := d.uvarint("flags")
+	inc.Anomalous = flags&1 != 0
+	inc.WindowIndex = int(d.uvarint("window index"))
+	inc.Start = time.Duration(d.uvarint("start"))
+	inc.End = time.Duration(d.uvarint("end"))
+	nw := d.uvarint("window count")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nw > maxIncidentWindows || nw > uint64(len(payload)) {
+		return nil, fmt.Errorf("anomalystore: window count %d exceeds limit", nw)
+	}
+	inc.Windows = make([]window.Window, 0, nw)
+	for i := uint64(0); i < nw; i++ {
+		var w window.Window
+		w.Index = int(d.uvarint("window index"))
+		w.Start = time.Duration(d.uvarint("window start"))
+		w.End = time.Duration(d.uvarint("window end"))
+		blob := d.bytes("window events", d.uvarint("window events length"), maxRecordSize)
+		if d.err != nil {
+			return nil, d.err
+		}
+		evs, err := decodeEvents(blob)
+		if err != nil {
+			return nil, err
+		}
+		w.Events = evs
+		inc.Windows = append(inc.Windows, w)
+	}
+	return inc, d.err
+}
+
+func decodeEvents(blob []byte) ([]trace.Event, error) {
+	br, err := traceio.NewBinaryReader(bytes.NewReader(blob))
+	if err != nil {
+		return nil, fmt.Errorf("anomalystore: decoding window events: %w", err)
+	}
+	evs, err := trace.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("anomalystore: decoding window events: %w", err)
+	}
+	return evs, nil
+}

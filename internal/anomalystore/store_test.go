@@ -1,0 +1,370 @@
+package anomalystore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"enduratrace/internal/trace"
+	"enduratrace/internal/window"
+)
+
+// testIncident builds a deterministic incident with i-dependent content so
+// round-trip mismatches are attributable to a specific record.
+func testIncident(i int) Incident {
+	mkWin := func(idx int) window.Window {
+		evs := make([]trace.Event, 0, 8)
+		for j := 0; j < 8; j++ {
+			var pl []byte // nil when empty: the codec decodes no payload as nil
+			if j%3 != 0 {
+				pl = bytes.Repeat([]byte{byte(i)}, j%3*16)
+			}
+			evs = append(evs, trace.Event{
+				TS:      time.Duration(idx*1000+j) * time.Millisecond,
+				Type:    trace.EventType(j % 5),
+				Arg:     uint64(i*100 + j),
+				Payload: pl,
+			})
+		}
+		return window.Window{
+			Index:  idx,
+			Start:  time.Duration(idx) * time.Second,
+			End:    time.Duration(idx+1) * time.Second,
+			Events: evs,
+		}
+	}
+	return Incident{
+		Stream:      fmt.Sprintf("stream-%02d", i%3),
+		Model:       "model-a",
+		ModelGen:    int64(i % 2),
+		Wall:        time.Unix(1700000000+int64(i), int64(i)*1001).UTC(),
+		Score:       2.5 + float64(i)*0.125,
+		GateDist:    0.75 + float64(i)*0.0625,
+		Alpha:       2.5,
+		Anomalous:   i%2 == 0,
+		WindowIndex: i + 2,
+		Start:       time.Duration(i+2) * time.Second,
+		End:         time.Duration(i+3) * time.Second,
+		Windows:     []window.Window{mkWin(i), mkWin(i + 1), mkWin(i + 2)},
+	}
+}
+
+// appendN appends n test incidents and returns them with their assigned
+// sequence numbers filled in.
+func appendN(t *testing.T, s *Store, n int) []Incident {
+	t.Helper()
+	incs := make([]Incident, 0, n)
+	for i := 0; i < n; i++ {
+		inc := testIncident(i)
+		seq, err := s.Append(inc)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		inc.Seq = seq
+		incs = append(incs, inc)
+	}
+	return incs
+}
+
+// walkAll collects every incident a Reader can see.
+func walkAll(t *testing.T, dir string) ([]*Incident, []SegmentScan) {
+	t.Helper()
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*Incident
+	scans, err := r.Walk(func(inc *Incident) error {
+		got = append(got, inc)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, scans
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, s, 25)
+	st := s.Stats()
+	if st.Appended != 25 || st.Incidents != 25 || st.Recovered != 0 {
+		t.Fatalf("stats %+v, want 25 appended", st)
+	}
+	if st.LastSeq != 25 || st.Segments != 1 {
+		t.Fatalf("stats %+v, want last seq 25 in 1 segment", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := s.Append(Incident{}); err == nil {
+		t.Fatal("append on closed store succeeded")
+	}
+
+	got, scans := walkAll(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("walked %d incidents, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(*got[i], want[i]) {
+			t.Fatalf("incident %d round-trip mismatch:\n got %+v\nwant %+v", i, *got[i], want[i])
+		}
+	}
+	if len(scans) != 1 || !scans[0].Sealed || scans[0].Truncated {
+		t.Fatalf("scan %+v, want one sealed untruncated segment", scans)
+	}
+	if scans[0].FirstSeq != 1 || scans[0].LastSeq != 25 {
+		t.Fatalf("scan sequence range %d..%d, want 1..25", scans[0].FirstSeq, scans[0].LastSeq)
+	}
+
+	// Recent keeps metas newest-last; Get round-trips through the Store.
+	recent := s.Recent(5)
+	if len(recent) != 5 || recent[4].Seq != 25 {
+		t.Fatalf("recent %+v, want 5 entries ending at seq 25", recent)
+	}
+	inc, err := s.Get(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*inc, want[12]) {
+		t.Fatalf("Get(13) mismatch: %+v", *inc)
+	}
+}
+
+func TestStoreRotationAndIndexedGet(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments and a dense-ish index force rotation and the indexed
+	// Get path across several sealed segments.
+	s, err := Open(dir, Options{SegmentBytes: 4096, IndexEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, s, 60)
+	st := s.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("only %d segments after 60 appends of ~%dB records, rotation broken", st.Segments, 4096)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Segments() != st.Segments {
+		t.Fatalf("reader sees %d segments, store reported %d", r.Segments(), st.Segments)
+	}
+	// Every sealed segment must carry a usable tail index.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range segs {
+		if _, ok, err := readSegmentIndex(seg.path); err != nil || !ok {
+			t.Fatalf("segment %s has no tail index (err %v)", seg.path, err)
+		}
+	}
+	// Get every record back, including ones not on an index boundary.
+	for _, w := range want {
+		inc, err := r.Get(w.Seq)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", w.Seq, err)
+		}
+		if !reflect.DeepEqual(*inc, w) {
+			t.Fatalf("Get(%d) mismatch", w.Seq)
+		}
+	}
+	if _, err := r.Get(0); err != ErrNotFound {
+		t.Fatalf("Get(0) = %v, want ErrNotFound", err)
+	}
+	if _, err := r.Get(uint64(len(want) + 1)); err != ErrNotFound {
+		t.Fatalf("Get(past end) = %v, want ErrNotFound", err)
+	}
+
+	got, _ := walkAll(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("walked %d incidents across segments, want %d", len(got), len(want))
+	}
+}
+
+// TestCrashDurability simulates kill -9: the active segment is never
+// sealed, and its tail may be cut mid-record. Reopening must recover every
+// complete record, flag the damage, and never panic; a new Store over the
+// same dir must continue the sequence without reusing numbers.
+func TestCrashDurability(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, s, 40)
+	// Crash: drop the store on the floor without Close. The *os.File goes
+	// out of scope unsealed, exactly like SIGKILL (data was fsynced per
+	// append, the seal never happened).
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("need >=2 segments to test crash recovery, got %d", len(segs))
+	}
+	active := segs[len(segs)-1].path
+
+	got, scans := walkAll(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d incidents after crash, want %d", len(got), len(want))
+	}
+	last := scans[len(scans)-1]
+	if last.Sealed {
+		t.Fatal("crashed active segment reads as sealed")
+	}
+	if last.Truncated {
+		t.Fatal("active segment cut at a record boundary flagged as truncated")
+	}
+	for _, sc := range scans[:len(scans)-1] {
+		if !sc.Sealed {
+			t.Fatalf("rotated segment not sealed: %+v", sc)
+		}
+	}
+
+	// Tear the active segment mid-record: every cut length from the record
+	// boundary back into the previous record must still yield the earlier
+	// records and a clean Truncated flag.
+	whole, err := os.ReadFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < 40; cut += 7 {
+		if cut >= len(whole) {
+			break
+		}
+		torn := filepath.Join(t.TempDir(), "torn.seg")
+		if err := os.WriteFile(torn, whole[:len(whole)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		scan, err := scanSegmentFile(torn, nil)
+		if err != nil {
+			t.Fatalf("cut %d: scan error %v", cut, err)
+		}
+		if !scan.Truncated {
+			t.Fatalf("cut %d: torn tail not flagged truncated: %+v", cut, scan)
+		}
+		if scan.Records >= last.Records || scan.LastSeq >= last.LastSeq {
+			// The tear removed at least the final record.
+			t.Fatalf("cut %d: scan %+v counts the torn record", cut, scan)
+		}
+	}
+
+	// Flip a byte inside a payload: the CRC must reject the record and
+	// everything after it, again without error or panic.
+	corrupt := append([]byte(nil), whole...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	scan, err := ScanSegment(bytes.NewReader(corrupt), nil)
+	if err != nil {
+		t.Fatalf("corrupt scan error: %v", err)
+	}
+	if !scan.Truncated {
+		t.Fatal("bit flip not caught by the record CRC")
+	}
+	if scan.Records >= last.Records {
+		t.Fatalf("corrupt scan counted %d records, active had %d intact", scan.Records, last.Records)
+	}
+
+	// Reopen the directory as a Store: sequence numbering continues past
+	// everything recovered, and old + new records coexist.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.Recovered != int64(len(want)) {
+		t.Fatalf("reopen recovered %d, want %d", st.Recovered, len(want))
+	}
+	seq, err := s2.Append(testIncident(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq <= want[len(want)-1].Seq {
+		t.Fatalf("reopened store reused sequence %d (last was %d)", seq, want[len(want)-1].Seq)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = walkAll(t, dir)
+	if len(got) != len(want)+1 {
+		t.Fatalf("after reopen+append walked %d, want %d", len(got), len(want)+1)
+	}
+	if got[len(got)-1].Seq != seq {
+		t.Fatalf("appended incident seq %d not last in walk (%d)", seq, got[len(got)-1].Seq)
+	}
+}
+
+// TestOpenOnCrashedEmptySegment: a crash can leave a segment holding only
+// its header (no intact record). The filename still reserves its base
+// sequence; reopening must not hand that number out again.
+func TestOpenOnCrashedEmptySegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(testIncident(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(testIncident(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Fake a header-only crashed segment with a base past the live records.
+	hdr := []byte(segMagic)
+	hdr = append(hdr, 1) // version uvarint
+	hdr = append(hdr, 7) // baseSeq uvarint: 7
+	if err := os.WriteFile(filepath.Join(dir, segmentName(7)), hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	seq, err := s2.Append(testIncident(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq <= 7 {
+		t.Fatalf("reopened store assigned seq %d inside the crashed segment's reservation", seq)
+	}
+}
+
+func TestDecodeIncidentRejectsCorruptLengths(t *testing.T) {
+	inc := testIncident(3)
+	inc.Seq = 1
+	payload, err := appendIncident(nil, &inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeIncident(payload); err != nil {
+		t.Fatalf("clean payload failed to decode: %v", err)
+	}
+	// Every prefix of a valid payload must error cleanly, never panic.
+	for n := 0; n < len(payload); n++ {
+		if _, err := DecodeIncident(payload[:n]); err == nil {
+			t.Fatalf("truncated payload of %d bytes decoded without error", n)
+		}
+	}
+}

@@ -82,6 +82,13 @@ func LoadModelDir(dir, defaultName string) (*ModelRegistry, error) {
 }
 
 // loadModelDirOnce reads one generation of models from dir.
+// LoadModelDirAll loads every *.json model in dir without building a
+// registry — no default is needed. Callers that score against every
+// model (replay) use this; the serving path goes through LoadModelDir.
+func LoadModelDirAll(dir string) ([]*NamedModel, error) {
+	return loadModelDirOnce(dir)
+}
+
 func loadModelDirOnce(dir string) ([]*NamedModel, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {

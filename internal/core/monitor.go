@@ -299,6 +299,21 @@ func (m *Monitor) ProcessWindow(w window.Window) Decision {
 	return d
 }
 
+// ScoreWindow computes the LOF of one window in isolation: featurize and
+// score, nothing else. Unlike ProcessWindow it does not consult or update
+// the running past pmf, does not touch the gate, and bumps no counters —
+// it is the pure scoring function used by forensic replay to re-judge a
+// recorded window against this monitor's model. Like ProcessWindow it
+// reuses the monitor's scratch buffers, so it is not safe for concurrent
+// use with any other method on the same Monitor.
+func (m *Monitor) ScoreWindow(w window.Window) float64 {
+	features := m.feat.FeaturesInto(m.featBuf, m.counts, w)
+	return m.scorer.Score(features)
+}
+
+// Alpha returns the configured LOF anomaly threshold.
+func (m *Monitor) Alpha() float64 { return m.cfg.Alpha }
+
 // Stats reports monitor counters.
 func (m *Monitor) Stats() (windows, gateTrips, lofCalls, anomalies int) {
 	s := m.Snapshot()

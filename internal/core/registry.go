@@ -159,6 +159,25 @@ func (h *StreamHandle) Close() {
 	h.reg.mu.Unlock()
 }
 
+// Discard unregisters a stream that was refused before it served anything
+// (e.g. its recorder sink could not be built): the stream leaves no trace
+// in the closed-stream counts — the serving layer books the refusal as a
+// rejection instead, and a stream that shows up in both rejected and
+// closed would double-count. Idempotent, and a no-op after Close.
+func (h *StreamHandle) Discard() {
+	h.mu.Lock()
+	if h.done {
+		h.mu.Unlock()
+		return
+	}
+	h.done = true
+	h.mu.Unlock()
+
+	h.reg.mu.Lock()
+	delete(h.reg.live, h.id)
+	h.reg.mu.Unlock()
+}
+
 // Streams lists the live streams' statuses, sorted by id.
 func (r *StreamRegistry) Streams() []StreamStatus {
 	r.mu.Lock()

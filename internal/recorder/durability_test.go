@@ -1,0 +1,194 @@
+package recorder
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"enduratrace/internal/trace"
+	"enduratrace/internal/traceio"
+)
+
+// TestStreamSinkCloseFinishesFlateStream: Close must write the
+// compressor's final block — a sink that flushes the codec but leaks the
+// flate writer unclosed produces a stream that decompresses to
+// io.ErrUnexpectedEOF, which is exactly the bug this pins.
+func TestStreamSinkCloseFinishesFlateStream(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := NewStreamSink(&buf, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(testWindow(0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr := flate.NewReader(bytes.NewReader(buf.Bytes()))
+	raw, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatalf("compressed stream not finished by Close: %v", err)
+	}
+	br, err := traceio.NewBinaryReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := trace.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 50 {
+		t.Fatalf("decoded %d events, want 50", len(evs))
+	}
+}
+
+var errBoom = errors.New("boom")
+
+// failWriter errors on every write.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errBoom }
+
+// TestStreamSinkCloseErrorPath: a failing underlying writer must surface
+// exactly once, through Close; Close stays idempotent and the sink rejects
+// records afterwards.
+func TestStreamSinkCloseErrorPath(t *testing.T) {
+	s, err := NewStreamSink(failWriter{}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(testWindow(0, 3)); err != nil {
+		t.Fatal(err) // buffered, the writer is not touched yet
+	}
+	if err := s.Close(); !errors.Is(err, errBoom) {
+		t.Fatalf("Close error %v, want the writer's", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close returned %v, want nil", err)
+	}
+	if err := s.Record(testWindow(time.Second, 3)); err == nil {
+		t.Fatal("record on closed sink succeeded")
+	}
+}
+
+// TestStreamSinkCompressedCloseErrorPath: with compression in the stack,
+// a failing underlying writer must still tear the whole sink down through
+// Close — the writer's error reported (once), no panic, Close idempotent.
+// (The flate writer remembers its first error; Close reaching it at all is
+// the fix — the old early return skipped it entirely.)
+func TestStreamSinkCompressedCloseErrorPath(t *testing.T) {
+	s, err := NewStreamSink(failWriter{}, 0) // stored-block flate
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough payload bytes to overflow the compressor's block buffer so
+	// the error surfaces during Record or at the latest during Close.
+	win := testWindow(0, 10)
+	for i := range win.Events {
+		win.Events[i].Payload = bytes.Repeat([]byte{byte(i)}, 16<<10)
+	}
+	recErr := s.Record(win)
+	cerr := s.Close()
+	if recErr == nil && cerr == nil {
+		t.Fatal("failing writer surfaced no error through Record or Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close returned %v, want nil", err)
+	}
+}
+
+// TestFileSinkSyncMidStream: Sync must make everything recorded so far
+// durable and readable while the sink stays open for more records.
+func TestFileSinkSyncMidStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.etrc")
+	s, err := NewFileSink(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(testWindow(0, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The synced prefix is a complete, decodable trace right now — no
+	// Close needed (this is what a crash after Sync leaves behind).
+	evs := readTrace(t, path)
+	if len(evs) != 20 {
+		t.Fatalf("after Sync the file decodes %d events, want 20", len(evs))
+	}
+	if err := s.Record(testWindow(time.Second, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if evs = readTrace(t, path); len(evs) != 25 {
+		t.Fatalf("after Close the file decodes %d events, want 25", len(evs))
+	}
+}
+
+func readTrace(t *testing.T, path string) []trace.Event {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	br, err := traceio.NewBinaryReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := trace.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// TestFileSinkSyncCompressed: with compression, Sync emits a flate flush
+// point so the on-disk prefix is decompressible mid-stream.
+func TestFileSinkSyncCompressed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.etrc.fz")
+	s, err := NewFileSink(path, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(testWindow(0, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flate.Flush guarantees the prefix inflates; the stream is not yet
+	// terminated, so ReadAll reporting unexpected EOF after yielding the
+	// bytes is acceptable — the events must all be there.
+	infl, err := io.ReadAll(flate.NewReader(bytes.NewReader(raw)))
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("synced compressed prefix unreadable: %v", err)
+	}
+	br, err := traceio.NewBinaryReader(bytes.NewReader(infl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := trace.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 30 {
+		t.Fatalf("synced prefix decodes %d events, want 30", len(evs))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,14 +47,34 @@ func NewFileSink(path string, compressLevel int) (*FileSink, error) {
 // Path returns the file the sink records to.
 func (s *FileSink) Path() string { return s.path }
 
-// Close implements Sink: flushes the stream sink, then closes the file.
+// Close implements Sink: flushes the stream sink, fsyncs, then closes the
+// file. Without the Sync the flushed bytes only reach the page cache and
+// "durable on disk" would be a lie a power cut exposes.
 func (s *FileSink) Close() error {
 	serr := s.StreamSink.Close()
+	yerr := s.f.Sync()
 	ferr := s.f.Close()
 	if serr != nil {
 		return serr
 	}
+	if yerr != nil {
+		return yerr
+	}
 	return ferr
+}
+
+// Sync flushes the codec and compressor and forces everything written so
+// far to stable storage, leaving the sink open for further records.
+func (s *FileSink) Sync() error {
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	if s.flate != nil {
+		if err := s.flate.Flush(); err != nil {
+			return err
+		}
+	}
+	return s.f.Sync()
 }
 
 // SanitizeStreamID maps an arbitrary stream id onto a safe filename

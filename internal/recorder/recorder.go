@@ -150,19 +150,21 @@ func (s *StreamSink) Record(w window.Window) error {
 	return nil
 }
 
-// Close implements Sink.
+// Close implements Sink. The flate writer is closed even when the codec
+// flush fails: a failed Flush must not leak the compressor (and its final
+// block) — the first error is reported either way.
 func (s *StreamSink) Close() error {
 	if s.closed {
 		return nil
 	}
 	s.closed = true
-	if err := s.bw.Flush(); err != nil {
-		return err
-	}
+	ferr := s.bw.Flush()
 	if s.flate != nil {
-		return s.flate.Close()
+		if cerr := s.flate.Close(); ferr == nil {
+			ferr = cerr
+		}
 	}
-	return nil
+	return ferr
 }
 
 // BytesWritten implements Sink. For exact numbers call after Close (flate

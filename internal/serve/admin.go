@@ -3,8 +3,12 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
+	"strconv"
 	"time"
+
+	"enduratrace/internal/anomalystore"
 )
 
 // healthReport is the /healthz body.
@@ -19,11 +23,12 @@ type healthReport struct {
 
 // adminMux builds the admin endpoints:
 //
-//	GET  /healthz  liveness + model registry identity
-//	GET  /streams  live streams with queue/sink counters
-//	GET  /stats    aggregate totals in the `monitor -json` report shape
-//	GET  /metrics  Prometheus text exposition, labelled by model/stream
-//	POST /reload   hot-reload the model registry from its directory
+//	GET  /healthz    liveness + model registry identity
+//	GET  /streams    live streams with queue/sink counters
+//	GET  /stats      aggregate totals in the `monitor -json` report shape
+//	GET  /metrics    Prometheus text exposition, labelled by model/stream
+//	GET  /anomalies  anomaly store stats + recent incidents (?n, ?seq)
+//	POST /reload     hot-reload the model registry from its directory
 func (s *Server) adminMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -42,6 +47,9 @@ func (s *Server) adminMux() *http.ServeMux {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /anomalies", func(w http.ResponseWriter, r *http.Request) {
+		s.handleAnomalies(w, r)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -68,6 +76,89 @@ func (s *Server) adminMux() *http.ServeMux {
 		writeJSON(w, http.StatusOK, rep)
 	})
 	return mux
+}
+
+// anomaliesReport is the default GET /anomalies body: store books plus the
+// most recent incident metas (newest last).
+type anomaliesReport struct {
+	Store     anomalystore.StoreStats     `json:"store"`
+	Incidents int64                       `json:"incidents"`
+	Errors    int64                       `json:"append_errors"`
+	Recent    []anomalystore.IncidentMeta `json:"recent"`
+}
+
+// incidentDetail is the GET /anomalies?seq=N body: the incident's metadata
+// plus a row per carried window (events stay on disk; replay reads them).
+type incidentDetail struct {
+	anomalystore.IncidentMeta
+	ContextWindows []incidentWindow `json:"context_windows"`
+}
+
+type incidentWindow struct {
+	Index  int     `json:"index"`
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+	Events int     `json:"events"`
+}
+
+// handleAnomalies serves the anomaly store's admin view. Without a store
+// attached (-anomaly-store unset) the endpoint 404s with an explanation.
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	store := s.opts.Anomalies
+	if store == nil {
+		writeJSON(w, http.StatusNotFound, struct {
+			Error string `json:"error"`
+		}{"no anomaly store attached (start the daemon with -anomaly-store)"})
+		return
+	}
+	if seqStr := r.URL.Query().Get("seq"); seqStr != "" {
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, struct {
+				Error string `json:"error"`
+			}{"bad seq: " + err.Error()})
+			return
+		}
+		inc, err := store.Get(seq)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, anomalystore.ErrNotFound) {
+				status = http.StatusNotFound
+			}
+			writeJSON(w, status, struct {
+				Error string `json:"error"`
+			}{err.Error()})
+			return
+		}
+		detail := incidentDetail{IncidentMeta: inc.Meta()}
+		for _, win := range inc.Windows {
+			detail.ContextWindows = append(detail.ContextWindows, incidentWindow{
+				Index:  win.Index,
+				StartS: win.Start.Seconds(),
+				EndS:   win.End.Seconds(),
+				Events: len(win.Events),
+			})
+		}
+		writeJSON(w, http.StatusOK, detail)
+		return
+	}
+	n := 50
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		v, err := strconv.Atoi(nStr)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, struct {
+				Error string `json:"error"`
+			}{"bad n: must be a non-negative integer"})
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, anomaliesReport{
+		Store:     store.Stats(),
+		Incidents: s.anomIncidents.Load(),
+		Errors:    s.anomStoreErrs.Load(),
+		Recent:    store.Recent(n),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

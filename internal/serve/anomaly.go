@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"time"
+
+	"enduratrace/internal/anomalystore"
+	"enduratrace/internal/core"
+	"enduratrace/internal/window"
+)
+
+// DefaultAnomalyContext is the number of pre-trip context windows an
+// incident carries when Options.AnomalyContext is zero.
+const DefaultAnomalyContext = 2
+
+// tripRecorder is one stream's hook into the anomaly store: it rides the
+// monitor's per-window decision callback, keeps a small ring of the most
+// recent quiet windows, and on every gate trip persists an incident — the
+// context ring plus the tripped window — with the full scoring verdict.
+// Store failures are counted and logged but never propagated: losing the
+// forensic copy must not kill the live stream.
+type tripRecorder struct {
+	srv      *Server
+	store    *anomalystore.Store
+	stream   string
+	model    string
+	modelGen int64
+	alpha    float64
+	pre      int
+	ring     []window.Window
+	logged   bool
+}
+
+// newTripRecorder builds the hook for one registered stream. Window
+// retention is safe: the windower hands out freshly copied event slices.
+func (s *Server) newTripRecorder(h *core.StreamHandle) *tripRecorder {
+	pre := s.opts.AnomalyContext
+	if pre == 0 {
+		pre = DefaultAnomalyContext
+	}
+	if pre < 0 {
+		pre = 0
+	}
+	return &tripRecorder{
+		srv:      s,
+		store:    s.opts.Anomalies,
+		stream:   h.ID(),
+		model:    h.Model().Name,
+		modelGen: s.models.Generation(),
+		alpha:    h.Model().Cfg.Alpha,
+		pre:      pre,
+	}
+}
+
+// onDecision is the core.Monitor.Run callback. It runs on the stream's
+// scoring goroutine; the store itself serialises concurrent appends.
+func (t *tripRecorder) onDecision(d core.Decision) error {
+	if !d.GateTripped {
+		if t.pre > 0 {
+			t.ring = append(t.ring, d.Window)
+			if len(t.ring) > t.pre {
+				// Shift in place; the ring is tiny (AnomalyContext windows).
+				copy(t.ring, t.ring[1:])
+				t.ring = t.ring[:t.pre]
+			}
+		}
+		return nil
+	}
+
+	windows := make([]window.Window, 0, len(t.ring)+1)
+	windows = append(windows, t.ring...)
+	windows = append(windows, d.Window)
+	t.ring = t.ring[:0]
+
+	_, err := t.store.Append(anomalystore.Incident{
+		Stream:      t.stream,
+		Model:       t.model,
+		ModelGen:    t.modelGen,
+		Wall:        time.Now(),
+		Score:       d.LOF,
+		GateDist:    d.GateDist,
+		Alpha:       t.alpha,
+		Anomalous:   d.Anomalous,
+		WindowIndex: d.Window.Index,
+		Start:       d.Window.Start,
+		End:         d.Window.End,
+		Windows:     windows,
+	})
+	if err != nil {
+		t.srv.anomStoreErrs.Add(1)
+		if !t.logged {
+			t.logged = true // one line per stream, not one per trip
+			t.srv.log.Printf("%s: anomaly store append failed (stream continues): %v", t.stream, err)
+		}
+		return nil
+	}
+	t.srv.anomIncidents.Add(1)
+	return nil
+}

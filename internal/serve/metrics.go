@@ -104,8 +104,22 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	m.family("enduratrace_model_reloads_total", "counter", "Successful model registry hot reloads.")
 	m.sample("enduratrace_model_reloads_total", float64(s.models.Generation()))
 
-	m.family("enduratrace_streams_rejected_total", "counter", "Streams refused at registration (unknown model name).")
-	m.sample("enduratrace_streams_rejected_total", float64(s.rejected.Load()))
+	m.family("enduratrace_streams_rejected_total", "counter", "Streams refused at registration, by reason.")
+	m.sample("enduratrace_streams_rejected_total", float64(s.rejUnknown.Load()), "reason", "unknown_model")
+	m.sample("enduratrace_streams_rejected_total", float64(s.rejRegister.Load()), "reason", "register")
+	m.sample("enduratrace_streams_rejected_total", float64(s.rejSink.Load()), "reason", "sink")
+
+	if store := s.opts.Anomalies; store != nil {
+		st := store.Stats()
+		m.family("enduratrace_anomaly_incidents_total", "counter", "Gate trips persisted to the anomaly store since startup.")
+		m.sample("enduratrace_anomaly_incidents_total", float64(s.anomIncidents.Load()))
+		m.family("enduratrace_anomaly_store_errors_total", "counter", "Anomaly store appends that failed (streams continue).")
+		m.sample("enduratrace_anomaly_store_errors_total", float64(s.anomStoreErrs.Load()))
+		m.family("enduratrace_anomaly_store_segments", "gauge", "Segment files in the anomaly store (sealed + active).")
+		m.sample("enduratrace_anomaly_store_segments", float64(st.Segments))
+		m.family("enduratrace_anomaly_store_bytes", "gauge", "Total size of the anomaly store's segment files.")
+		m.sample("enduratrace_anomaly_store_bytes", float64(st.Bytes))
+	}
 
 	// Registry contents: point counts, flagging the default model.
 	names := s.models.Names()

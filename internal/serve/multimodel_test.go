@@ -152,7 +152,7 @@ func TestUnknownModelRejectedCleanly(t *testing.T) {
 	// a write error within the deadline rather than swallowing events
 	// forever.
 	deadline := time.Now().Add(10 * time.Second)
-	for srv.rejected.Load() == 0 {
+	for srv.rejUnknown.Load() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("server never rejected the unknown-model stream")
 		}
@@ -177,11 +177,14 @@ func TestUnknownModelRejectedCleanly(t *testing.T) {
 	if stats.StreamsLive != 0 || stats.StreamsClosed != 0 {
 		t.Fatalf("rejected stream registered: %+v", stats)
 	}
+	if stats.StreamsRejected != 1 || stats.RejectedUnknownModel != 1 {
+		t.Fatalf("rejection miscounted: %+v", stats)
+	}
 	body, err := getBody("http://" + srv.AdminAddr().String() + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(body), "enduratrace_streams_rejected_total 1") {
+	if !strings.Contains(string(body), `enduratrace_streams_rejected_total{reason="unknown_model"} 1`) {
 		t.Fatalf("metrics missing the rejection count:\n%s", body)
 	}
 

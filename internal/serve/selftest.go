@@ -3,15 +3,18 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"enduratrace/internal/anomalystore"
 	"enduratrace/internal/core"
 	"enduratrace/internal/mediasim"
 	"enduratrace/internal/perturb"
@@ -51,6 +54,17 @@ type SelftestOptions struct {
 	// Factor, when > 1, perturbs each client's pipeline periodically so
 	// the streams actually contain anomalies to record.
 	Factor float64
+	// RejectClients adds this many deliberately doomed clients, each naming
+	// a model the registry does not hold. They must all be refused at
+	// registration, and the selftest asserts the refusals land in
+	// StatsReport.StreamsRejected — the books-balance check for the
+	// rejection path.
+	RejectClients int
+	// Anomalies attaches an anomaly store to the server (see
+	// Options.Anomalies). The selftest then asserts that every gate trip
+	// was persisted (AnomalyIncidents == GateTrips) with zero store errors.
+	// The caller owns and closes the store.
+	Anomalies *anomalystore.Store
 	// QueueLen, Backpressure, Sinks, Log as in Options.
 	QueueLen     int
 	Backpressure Backpressure
@@ -114,6 +128,7 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 		QueueLen:     opts.QueueLen,
 		Backpressure: opts.Backpressure,
 		Sinks:        opts.Sinks,
+		Anomalies:    opts.Anomalies,
 		Log:          opts.Log,
 	})
 	if err != nil {
@@ -181,6 +196,17 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 		}()
 	} else {
 		reloadErr <- nil
+	}
+
+	// The doomed clients run first: each names a model that cannot exist,
+	// must be refused at registration, and must observe the refusal as the
+	// server closing the connection. Their count is asserted against
+	// StatsReport.StreamsRejected after the run — a rejection the books
+	// don't show is exactly the accounting bug the reject path had.
+	for i := 0; i < opts.RejectClients; i++ {
+		if err := runRejectClient(srv.TraceAddr().String(), fmt.Sprintf("selftest-reject-%02d", i)); err != nil {
+			return nil, fmt.Errorf("serve: selftest reject client %d: %w", i, err)
+		}
 	}
 
 	start := time.Now()
@@ -331,7 +357,57 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 	if opts.ReloadMidRun && (reload == nil || reload.Generation < 1) {
 		return rep, fmt.Errorf("serve: selftest reload-under-load did not record a successful reload")
 	}
+
+	// Rejection books: every doomed client must be on record, as an
+	// unknown-model refusal, and nothing else may have been refused.
+	if stats.StreamsRejected != int64(opts.RejectClients) ||
+		stats.RejectedUnknownModel != int64(opts.RejectClients) {
+		return rep, fmt.Errorf("serve: selftest rejected %d streams (%d unknown-model), want %d",
+			stats.StreamsRejected, stats.RejectedUnknownModel, opts.RejectClients)
+	}
+
+	// Anomaly store books: with a store attached, every gate trip must
+	// have been persisted as an incident and no append may have failed.
+	if opts.Anomalies != nil {
+		if stats.AnomalyStoreErrors != 0 {
+			return rep, fmt.Errorf("serve: selftest anomaly store reported %d append errors",
+				stats.AnomalyStoreErrors)
+		}
+		if stats.AnomalyIncidents != stats.GateTrips {
+			return rep, fmt.Errorf("serve: selftest persisted %d incidents, server tripped %d gates",
+				stats.AnomalyIncidents, stats.GateTrips)
+		}
+		if st := opts.Anomalies.Stats(); st.Appended != stats.AnomalyIncidents {
+			return rep, fmt.Errorf("serve: selftest store holds %d appended incidents, server counted %d",
+				st.Appended, stats.AnomalyIncidents)
+		}
+	}
 	return rep, nil
+}
+
+// runRejectClient dials the server, names a model no registry holds, and
+// waits for the server to refuse the stream by closing the connection (the
+// read unblocks with EOF). The rejection counter is bumped before the
+// server closes the socket, so the caller may assert it immediately.
+func runRejectClient(addr, name string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fw, err := traceio.NewFrameWriterModel(conn, name, "selftest-no-such-model")
+	if err != nil {
+		return err
+	}
+	if err := fw.Flush(); err != nil { // push the header to the server
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	var buf [1]byte
+	if _, err := conn.Read(buf[:]); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		return fmt.Errorf("server did not close the rejected stream (read err %v)", err)
+	}
+	return nil
 }
 
 // runClient streams one simulated pipeline run to the server, counting

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"enduratrace/internal/anomalystore"
 	"enduratrace/internal/core"
 	"enduratrace/internal/recorder"
 	"enduratrace/internal/trace"
@@ -62,6 +63,14 @@ type Options struct {
 	// DrainTimeout bounds how long shutdown waits for streams to drain
 	// before force-closing connections (default 10s).
 	DrainTimeout time.Duration
+	// Anomalies, when non-nil, persists every gate trip into the anomaly
+	// store: the tripped window plus AnomalyContext preceding windows,
+	// the LOF score, and the scoring model's identity. The server does not
+	// own the store; the caller closes it after Serve returns.
+	Anomalies *anomalystore.Store
+	// AnomalyContext is how many pre-trip windows each incident carries
+	// (0 means DefaultAnomalyContext; negative disables context).
+	AnomalyContext int
 	// Log receives serving diagnostics (default: discard).
 	Log io.Writer
 }
@@ -100,9 +109,20 @@ type StatsReport struct {
 	ReductionFactor *float64 `json:"reduction_factor"`
 	StreamsLive     int      `json:"streams_live"`
 	StreamsClosed   int      `json:"streams_closed"`
-	DroppedEvents   int64    `json:"dropped_events"`
-	ModelPoints     int      `json:"model_points"`
-	UptimeS         float64  `json:"uptime_s"`
+	// StreamsRejected counts every stream refused at registration, whatever
+	// the reason; RejectedUnknownModel is the unknown-model-name subset.
+	// The remainder is sink-creation and other registration failures — all
+	// of them must show up here, or refused streams vanish from the books.
+	StreamsRejected      int64 `json:"streams_rejected"`
+	RejectedUnknownModel int64 `json:"rejected_unknown_model"`
+	DroppedEvents        int64 `json:"dropped_events"`
+	// AnomalyIncidents counts gate trips persisted to the anomaly store;
+	// AnomalyStoreErrors counts appends that failed (the stream continues).
+	// Both stay zero when no store is attached.
+	AnomalyIncidents   int64   `json:"anomaly_incidents"`
+	AnomalyStoreErrors int64   `json:"anomaly_store_errors"`
+	ModelPoints        int     `json:"model_points"`
+	UptimeS            float64 `json:"uptime_s"`
 }
 
 // StreamView is one live stream's row in /streams.
@@ -165,7 +185,16 @@ type Server struct {
 	closedBy map[string]ioTotals // per-model byte totals of closed streams
 	shutdown bool
 
-	rejected atomic.Int64 // streams refused at registration (unknown model)
+	// Streams refused at registration, by reason. Every refusal path must
+	// bump exactly one of these — a rejection that increments nothing is
+	// invisible to /stats and /metrics, which is the accounting bug this
+	// split fixes (only unknown-model used to be counted).
+	rejUnknown  atomic.Int64 // model name not in the registry
+	rejRegister atomic.Int64 // other registry Register failures
+	rejSink     atomic.Int64 // sink factory refused the stream
+
+	anomIncidents atomic.Int64 // gate trips persisted to the anomaly store
+	anomStoreErrs atomic.Int64 // anomaly store appends that failed
 
 	wg sync.WaitGroup
 }
@@ -380,20 +409,25 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	h, err := s.reg.Register(fr.StreamName(), fr.ModelName())
 	if err != nil {
-		// An unknown model name is a clean, immediate rejection: no stream
+		// A registration failure is a clean, immediate rejection: no stream
 		// is registered and the deferred conn.Close surfaces the refusal to
 		// the client as an ended stream (a write error on its next flush)
 		// rather than letting it pump events into a void.
 		if errors.Is(err, core.ErrUnknownModel) {
-			s.rejected.Add(1)
+			s.rejUnknown.Add(1)
+		} else {
+			s.rejRegister.Add(1)
 		}
 		s.log.Printf("%s: register: %v", conn.RemoteAddr(), err)
 		return
 	}
 	sink, err := s.opts.Sinks(h.ID())
 	if err != nil {
+		s.rejSink.Add(1)
 		s.log.Printf("%s: sink: %v", h.ID(), err)
-		h.Close()
+		// Discard, not Close: the stream never served, and a refusal that
+		// also bumped the closed-stream count would be double-booked.
+		h.Discard()
 		return
 	}
 	ls := &liveSink{inner: sink}
@@ -438,7 +472,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	// The ingest loop already accounts received bytes (including events a
 	// DropOldest queue sheds before scoring); don't pay for it twice.
 	h.Monitor().DisableByteAccounting()
-	stats, runErr := h.Monitor().Run(st.q, ls, nil)
+	var onDecision func(core.Decision) error
+	if s.opts.Anomalies != nil {
+		onDecision = s.newTripRecorder(h).onDecision
+	}
+	stats, runErr := h.Monitor().Run(st.q, ls, onDecision)
 	// Close the queue before joining the ingester: if Run exited early (a
 	// sink error), the ingest goroutine may be parked in a Block-policy
 	// Push with nobody left to consume — Close (idempotent) unparks it.
@@ -499,15 +537,20 @@ func (s *Server) handleConn(conn net.Conn) {
 // default model (per-model breakdowns live on /metrics).
 func (s *Server) Stats() StatsReport {
 	total, live, closed := s.reg.Totals()
+	rejUnknown := s.rejUnknown.Load()
 	rep := StatsReport{
-		Windows:       total.Windows,
-		GateTrips:     total.GateTrips,
-		LOFCalls:      total.LOFCalls,
-		Anomalies:     total.Anomalies,
-		StreamsLive:   live,
-		StreamsClosed: closed,
-		ModelPoints:   s.models.Default().Learned.Model.Len(),
-		UptimeS:       time.Since(s.start).Seconds(),
+		Windows:              total.Windows,
+		GateTrips:            total.GateTrips,
+		LOFCalls:             total.LOFCalls,
+		Anomalies:            total.Anomalies,
+		StreamsLive:          live,
+		StreamsClosed:        closed,
+		StreamsRejected:      rejUnknown + s.rejRegister.Load() + s.rejSink.Load(),
+		RejectedUnknownModel: rejUnknown,
+		AnomalyIncidents:     s.anomIncidents.Load(),
+		AnomalyStoreErrors:   s.anomStoreErrs.Load(),
+		ModelPoints:          s.models.Default().Learned.Model.Len(),
+		UptimeS:              time.Since(s.start).Seconds(),
 	}
 	s.mu.Lock()
 	rep.FullBytes = s.closed.fullBytes
