@@ -1,0 +1,47 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"enduratrace/internal/serve"
+)
+
+// cmdMetricsLint validates a Prometheus text exposition — typically a
+// saved /metrics scrape — with serve.ValidatePrometheusText: every line
+// must parse, and histogram families must satisfy the bucket invariants
+// (cumulative counts, le="+Inf" == _count, _sum present). CI scrapes the
+// daemon and pipes the body through this to catch exposition regressions
+// without a real Prometheus in the loop.
+func cmdMetricsLint(args []string) error {
+	fs := flag.NewFlagSet("enduratrace metricslint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, "usage: enduratrace metricslint [file]\n\nvalidates a Prometheus text exposition (reads stdin without a file)\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var body []byte
+	var err error
+	switch fs.NArg() {
+	case 0:
+		body, err = io.ReadAll(os.Stdin)
+	case 1:
+		body, err = os.ReadFile(fs.Arg(0))
+	default:
+		fs.Usage()
+		return flag.ErrHelp
+	}
+	if err != nil {
+		return err
+	}
+	samples, err := serve.ValidatePrometheusText(body)
+	if err != nil {
+		return fmt.Errorf("metricslint: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "metricslint: OK, %d samples\n", samples)
+	return nil
+}

@@ -35,6 +35,11 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", 1024, "per-stream bounded event queue length")
 	bp := fs.String("backpressure", "block", "full-queue policy: block (TCP backpressure) or drop-oldest")
 	alpha := fs.Float64("alpha", 0, "override the model's LOF threshold (0 = keep; single-model and in-process selftest only)")
+	logFormat := fs.String("log-format", "text", "daemon log format on stderr: text or json (both timestamped)")
+	pprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the admin listener")
+	flightEvery := fs.Int("flight-every", 0, "flight recorder: sample every Nth event per stream (0 = default 256, negative = disable)")
+	flightCap := fs.Int("flight-cap", 0, "flight recorder: retained record ring size (0 = default 512)")
+	stallAfter := fs.Duration("stall-after", 0, "flag a stream stalled when its queue holds events but the scorer makes no progress for this long (0 = default 30s, negative = disable)")
 	jsonOut := fs.Bool("json", false, "print the final report as JSON on stdout")
 	selftest := fs.Bool("selftest", false, "loopback load test: fan simulated clients through real sockets, verify the books, exit")
 	selftestModels := fs.Int("selftest-models", 1, "selftest: in-process models to learn when no -models dir is given (2 = two-model registry exercising per-stream model selection and a mid-run reload)")
@@ -48,6 +53,10 @@ func cmdServe(args []string) error {
 	}
 
 	policy, err := serve.ParseBackpressure(*bp)
+	if err != nil {
+		return err
+	}
+	logger, err := serve.NewLogger(os.Stderr, *logFormat)
 	if err != nil {
 		return err
 	}
@@ -100,7 +109,7 @@ func cmdServe(args []string) error {
 			Backpressure: policy,
 			Sinks:        sinks,
 			Anomalies:    anomalies,
-			Log:          os.Stderr,
+			Logger:       logger,
 		}
 		if models.Len() > 1 {
 			// Exercise the whole matrix: one v1-framed client on the
@@ -121,7 +130,11 @@ func cmdServe(args []string) error {
 		Sinks:          sinks,
 		Anomalies:      anomalies,
 		AnomalyContext: *anomCtx,
-		Log:            os.Stderr,
+		Logger:         logger,
+		FlightEvery:    *flightEvery,
+		FlightCap:      *flightCap,
+		StallAfter:     *stallAfter,
+		EnablePprof:    *pprof,
 	})
 	if err != nil {
 		return err
@@ -311,6 +324,9 @@ func serveSelftest(opts serve.SelftestOptions, jsonOut bool) error {
 		books, rep.Stats.Anomalies,
 		rep.Stats.RecordedBytes, rep.Stats.FullBytes, reductionString(rep.Stats.ReductionFactor),
 		rep.MetricsSamples)
+	fmt.Fprintf(os.Stderr,
+		"serve: selftest latency (event→decision, %d events): p50 %.3fms, p99 %.3fms, p99.9 %.3fms\n",
+		rep.EventsObserved, rep.LatencyP50Ms, rep.LatencyP99Ms, rep.LatencyP999Ms)
 	for model, w := range rep.ModelWindows {
 		fmt.Fprintf(os.Stderr, "serve: selftest model %q scored %d windows\n", model, w)
 	}

@@ -197,6 +197,10 @@ type Monitor struct {
 
 	seeded bool
 	noAcct bool
+	// scoreTimer, when set, receives the duration of every ProcessWindow
+	// performed by Run — the serving layer's per-stage latency hook. Nil
+	// (the default) skips the clock reads entirely.
+	scoreTimer func(time.Duration)
 	// Counters are atomics so admin surfaces (serve's /streams, /stats)
 	// can Snapshot a monitor mid-Run without a lock on the hot path; only
 	// the owning goroutine writes them.
@@ -244,6 +248,14 @@ func NewMonitor(cfg Config, learned *Learned) (*Monitor, error) {
 // GateThreshold returns the effective gate threshold (the calibrated value
 // under GateAuto, the configured one otherwise).
 func (m *Monitor) GateThreshold() float64 { return m.gateThreshold }
+
+// SetScoreTimer registers f to be called by Run with the wall duration of
+// each ProcessWindow (the window-scoring stage: featurize + gate +
+// conditional LOF). f runs on the scoring goroutine, synchronously before
+// the window's sink/decision callbacks, so a decision callback reading
+// state written by f sees the value for its own window. It must not
+// allocate if the caller wants to keep the scoring path allocation-free.
+func (m *Monitor) SetScoreTimer(f func(time.Duration)) { m.scoreTimer = f }
 
 // DisableByteAccounting makes Run skip the per-event encoded-size
 // accounting, leaving RunStats.FullBytes zero. The serving layer accounts
@@ -505,7 +517,14 @@ func (m *Monitor) Run(r trace.Reader, sink recorder.Sink,
 			stats.Start = w.Start
 		}
 		stats.End = w.End
-		d := m.ProcessWindow(w)
+		var d Decision
+		if m.scoreTimer != nil {
+			t0 := time.Now()
+			d = m.ProcessWindow(w)
+			m.scoreTimer(time.Since(t0))
+		} else {
+			d = m.ProcessWindow(w)
+		}
 		if d.GateTripped {
 			stats.GateTrips++
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"enduratrace/internal/obs"
 	"enduratrace/internal/trace"
 	"enduratrace/internal/window"
 )
@@ -132,6 +133,27 @@ func TestProcessWindowZeroAlloc(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(100, func() { mon.ProcessWindow(shifted) }); allocs != 0 {
 		t.Errorf("tripped-gate ProcessWindow allocates %v/op, want 0", allocs)
+	}
+
+	// The instrumented path Run takes when a score timer is set — clock
+	// read, ProcessWindow, clock read, histogram observe — must stay
+	// zero-alloc too: latency recording may not cost the hot path its
+	// allocation-free steady state.
+	var hist obs.Histogram
+	mon.SetScoreTimer(func(d time.Duration) { hist.Observe(d) })
+	timed := func(w window.Window) {
+		t0 := time.Now()
+		mon.ProcessWindow(w)
+		mon.scoreTimer(time.Since(t0))
+	}
+	if allocs := testing.AllocsPerRun(100, func() { timed(quiet) }); allocs != 0 {
+		t.Errorf("timed quiet-gate ProcessWindow allocates %v/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { timed(shifted) }); allocs != 0 {
+		t.Errorf("timed tripped-gate ProcessWindow allocates %v/op, want 0", allocs)
+	}
+	if hist.Snapshot().Count() == 0 {
+		t.Error("score timer never observed a duration")
 	}
 }
 

@@ -1,0 +1,28 @@
+package obs
+
+import "runtime"
+
+// RuntimeStats is the handful of Go runtime gauges worth exporting from a
+// serving daemon: enough to spot a goroutine leak, heap growth, or GC
+// pressure from a dashboard without attaching pprof.
+type RuntimeStats struct {
+	Goroutines     int
+	HeapAllocBytes uint64
+	HeapSysBytes   uint64
+	GCPauseTotalNs uint64
+	GCCycles       uint32
+}
+
+// ReadRuntime collects the runtime gauges. runtime.ReadMemStats briefly
+// stops the world, so this belongs on the scrape path, never the hot path.
+func ReadRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		GCPauseTotalNs: ms.PauseTotalNs,
+		GCCycles:       ms.NumGC,
+	}
+}

@@ -5,11 +5,19 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"enduratrace/internal/anomalystore"
+	"enduratrace/internal/obs"
 )
+
+// flightReport is the GET /debug/flight body.
+type flightReport struct {
+	Stats   obs.FlightStats `json:"stats"`
+	Records []obs.Record    `json:"records"`
+}
 
 // healthReport is the /healthz body.
 type healthReport struct {
@@ -23,12 +31,14 @@ type healthReport struct {
 
 // adminMux builds the admin endpoints:
 //
-//	GET  /healthz    liveness + model registry identity
-//	GET  /streams    live streams with queue/sink counters
-//	GET  /stats      aggregate totals in the `monitor -json` report shape
-//	GET  /metrics    Prometheus text exposition, labelled by model/stream
-//	GET  /anomalies  anomaly store stats + recent incidents (?n, ?seq)
-//	POST /reload     hot-reload the model registry from its directory
+//	GET  /healthz       liveness + model registry identity
+//	GET  /streams       live streams with queue/sink counters + stall flags
+//	GET  /stats         aggregate totals in the `monitor -json` report shape
+//	GET  /metrics       Prometheus text exposition, labelled by model/stream
+//	GET  /anomalies     anomaly store stats + recent incidents (?n, ?seq)
+//	GET  /debug/flight  sampled per-event pipeline timings (flight recorder)
+//	GET  /debug/pprof/  net/http/pprof (only with Options.EnablePprof)
+//	POST /reload        hot-reload the model registry from its directory
 func (s *Server) adminMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -51,10 +61,41 @@ func (s *Server) adminMux() *http.ServeMux {
 	mux.HandleFunc("GET /anomalies", func(w http.ResponseWriter, r *http.Request) {
 		s.handleAnomalies(w, r)
 	})
+	mux.HandleFunc("GET /debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		if s.flight == nil {
+			writeJSON(w, http.StatusNotFound, struct {
+				Error string `json:"error"`
+			}{"flight recorder disabled (negative -flight-every)"})
+			return
+		}
+		writeJSON(w, http.StatusOK, flightReport{
+			Stats:   s.flight.Stats(),
+			Records: s.flight.Records(),
+		})
+	})
+	if s.opts.EnablePprof {
+		// The handlers are mounted explicitly (net/http/pprof's init only
+		// touches http.DefaultServeMux, which this server does not use).
+		// Profile captures run for their ?seconds= argument — longer than
+		// the admin server's WriteTimeout — so the deadline is pushed out
+		// for the capture, like the /reload handler does for model loads.
+		profiled := func(h http.HandlerFunc) http.HandlerFunc {
+			return func(w http.ResponseWriter, r *http.Request) {
+				rc := http.NewResponseController(w)
+				rc.SetWriteDeadline(time.Now().Add(10 * time.Minute))
+				h(w, r)
+			}
+		}
+		mux.HandleFunc("GET /debug/pprof/", profiled(pprof.Index))
+		mux.HandleFunc("GET /debug/pprof/cmdline", profiled(pprof.Cmdline))
+		mux.HandleFunc("GET /debug/pprof/profile", profiled(pprof.Profile))
+		mux.HandleFunc("GET /debug/pprof/symbol", profiled(pprof.Symbol))
+		mux.HandleFunc("GET /debug/pprof/trace", profiled(pprof.Trace))
+	}
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := s.WriteMetrics(w); err != nil {
-			s.log.Printf("metrics write: %v", err)
+			s.log.Error("metrics write failed", "err", err)
 		}
 	})
 	mux.HandleFunc("POST /reload", func(w http.ResponseWriter, r *http.Request) {

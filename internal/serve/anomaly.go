@@ -89,7 +89,8 @@ func (t *tripRecorder) onDecision(d core.Decision) error {
 		t.srv.anomStoreErrs.Add(1)
 		if !t.logged {
 			t.logged = true // one line per stream, not one per trip
-			t.srv.log.Printf("%s: anomaly store append failed (stream continues): %v", t.stream, err)
+			t.srv.log.Error("anomaly store append failed (stream continues)",
+				"stream", t.stream, "err", err)
 		}
 		return nil
 	}

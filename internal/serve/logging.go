@@ -1,0 +1,25 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the daemon's structured logger writing to w in the
+// given format: "text" (logfmt-style, human-oriented) or "json" (one
+// object per line, machine-oriented). Both include wall-clock timestamps
+// on every line — the serve log is the first thing read next to a packet
+// capture or a client-side log, and lines without timestamps cannot be
+// correlated with anything (the pre-slog logger dropped them, which is
+// exactly the regression TestLoggerTimestamps pins).
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown log format %q (want text or json)", format)
+	}
+}

@@ -4,10 +4,13 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"enduratrace/internal/obs"
 )
 
 // Prometheus text exposition (version 0.0.4), hand-rolled: the format is
@@ -60,6 +63,24 @@ func (m *metricsWriter) sample(name string, value float64, labels ...string) {
 	sb.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
 	sb.WriteByte('\n')
 	_, m.err = m.w.WriteString(sb.String())
+}
+
+// histogram emits one Prometheus histogram: cumulative _bucket samples
+// over the obs bucket bounds (ending at le="+Inf"), then _sum and _count.
+// The snapshot is taken once, so within one scrape the +Inf bucket always
+// equals _count whatever concurrent Observes do.
+func (m *metricsWriter) histogram(name string, snap obs.Snapshot, labels ...string) {
+	bounds := obs.Bounds()
+	var cum uint64
+	for i, b := range bounds {
+		cum += snap.Counts[i]
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		m.sample(name+"_bucket", float64(cum), append(append([]string{}, labels...), "le", le)...)
+	}
+	cum += snap.Counts[len(bounds)] // overflow bin
+	m.sample(name+"_bucket", float64(cum), append(append([]string{}, labels...), "le", "+Inf")...)
+	m.sample(name+"_sum", snap.SumSeconds(), labels...)
+	m.sample(name+"_count", float64(cum), labels...)
 }
 
 func (m *metricsWriter) flush() error {
@@ -249,17 +270,110 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		}
 	}
 
+	// Stall watchdog: live streams holding queued events whose scorer has
+	// made no progress for Options.StallAfter.
+	stalled := 0
+	for _, v := range s.Streams() {
+		if v.Stalled {
+			stalled++
+		}
+	}
+	m.family("enduratrace_streams_stalled", "gauge",
+		"Live streams with queued events and no scoring progress for the stall threshold.")
+	m.sample("enduratrace_streams_stalled", float64(stalled))
+
+	// Pipeline latency histograms, per model: where each event's time goes
+	// on its way from the socket to a decision. decode includes socket
+	// wait (the frame read blocks on the network); e2e spans arrival
+	// (decode complete) to the decision on the event's window.
+	pipes := s.pipelines()
+	pipeNames := make([]string, 0, len(pipes))
+	for name := range pipes {
+		pipeNames = append(pipeNames, name)
+	}
+	sort.Strings(pipeNames)
+	stageFams := []struct {
+		name, help string
+		snap       func(p obs.PipelineSnapshot) obs.Snapshot
+	}{
+		{"enduratrace_pipeline_decode_seconds", "Per-event frame read + decode time, including socket wait.",
+			func(p obs.PipelineSnapshot) obs.Snapshot { return p.Decode }},
+		{"enduratrace_pipeline_queue_wait_seconds", "Per-event time in the bounded queue between ingest and scoring.",
+			func(p obs.PipelineSnapshot) obs.Snapshot { return p.QueueWait }},
+		{"enduratrace_pipeline_score_seconds", "Per-window ProcessWindow (featurize + gate + LOF) time.",
+			func(p obs.PipelineSnapshot) obs.Snapshot { return p.Score }},
+		{"enduratrace_pipeline_e2e_seconds", "Per-event end-to-end latency from arrival to its window's decision.",
+			func(p obs.PipelineSnapshot) obs.Snapshot { return p.E2E }},
+	}
+	snaps := make(map[string]obs.PipelineSnapshot, len(pipes))
+	for _, name := range pipeNames {
+		snaps[name] = pipes[name].Snapshot()
+	}
+	for _, fam := range stageFams {
+		m.family(fam.name, "histogram", fam.help)
+		for _, name := range pipeNames {
+			m.histogram(fam.name, fam.snap(snaps[name]), "model", name)
+		}
+	}
+
+	// Go runtime health, for correlating latency shifts with GC or
+	// goroutine growth.
+	rt := obs.ReadRuntime()
+	m.family("enduratrace_goroutines", "gauge", "Live goroutines in the daemon process.")
+	m.sample("enduratrace_goroutines", float64(rt.Goroutines))
+	m.family("enduratrace_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
+	m.sample("enduratrace_heap_alloc_bytes", float64(rt.HeapAllocBytes))
+	m.family("enduratrace_heap_sys_bytes", "gauge", "Bytes of heap obtained from the OS (runtime.MemStats.HeapSys).")
+	m.sample("enduratrace_heap_sys_bytes", float64(rt.HeapSysBytes))
+	m.family("enduratrace_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.")
+	m.sample("enduratrace_gc_pause_seconds_total", float64(rt.GCPauseTotalNs)/1e9)
+	m.family("enduratrace_gc_cycles_total", "counter", "Completed GC cycles.")
+	m.sample("enduratrace_gc_cycles_total", float64(rt.GCCycles))
+
 	return m.flush()
 }
 
-// ValidatePrometheusText parses a text-format exposition just enough to
-// catch malformed output: every line must be a comment or a
-// `name{labels} value` sample with balanced quotes and a numeric value.
-// It returns the number of samples. Used by the selftest (and CI smoke)
-// to assert the /metrics endpoint stays scrapeable.
+// ValidatePrometheusText parses a text-format exposition and checks it is
+// well-formed: every line must be a comment or a `name{labels} value`
+// sample with balanced quotes and a numeric value. Families declared
+// `# TYPE <name> histogram` are additionally held to the histogram
+// invariants, per label set: bucket counts non-decreasing in le, an
+// le="+Inf" bucket present and equal to the family's _count sample, and a
+// _sum sample present. It returns the number of samples. Used by the
+// selftest (and CI's metricslint) to assert /metrics stays scrapeable.
 func ValidatePrometheusText(body []byte) (samples int, err error) {
+	// One histogram series (a family + one label set minus le).
+	type histo struct {
+		buckets map[float64]float64 // le -> cumulative count
+		sum     *float64
+		count   *float64
+	}
+	histFamilies := make(map[string]bool) // declared `# TYPE x histogram`
+	series := make(map[string]*histo)
+	get := func(key string) *histo {
+		h := series[key]
+		if h == nil {
+			h = &histo{buckets: make(map[float64]float64)}
+			series[key] = h
+		}
+		return h
+	}
+	// seriesKey joins a histogram family name with its identifying labels
+	// (everything but le), order-normalised.
+	seriesKey := func(fam string, labels [][2]string) string {
+		kv := make([]string, 0, len(labels))
+		for _, l := range labels {
+			kv = append(kv, l[0]+"="+l[1])
+		}
+		sort.Strings(kv)
+		return fam + "{" + strings.Join(kv, ",") + "}"
+	}
+
 	for i, line := range strings.Split(string(body), "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
+			if f := strings.Fields(line); len(f) == 4 && f[1] == "TYPE" && f[3] == "histogram" {
+				histFamilies[f[2]] = true
+			}
 			continue
 		}
 		rest := line
@@ -278,7 +392,9 @@ func ValidatePrometheusText(body []byte) (samples int, err error) {
 		if n == 0 {
 			return samples, fmt.Errorf("line %d: no metric name in %q", i+1, line)
 		}
+		name := rest[:n]
 		rest = rest[n:]
+		var labelStr string
 		if strings.HasPrefix(rest, "{") {
 			end := -1
 			inQuote := false
@@ -298,6 +414,7 @@ func ValidatePrometheusText(body []byte) (samples int, err error) {
 			if end < 0 {
 				return samples, fmt.Errorf("line %d: unterminated label set in %q", i+1, line)
 			}
+			labelStr = rest[1:end]
 			rest = rest[end+1:]
 		}
 		rest = strings.TrimSpace(rest)
@@ -306,10 +423,152 @@ func ValidatePrometheusText(body []byte) (samples int, err error) {
 		if len(fields) < 1 || len(fields) > 2 {
 			return samples, fmt.Errorf("line %d: want value [timestamp], got %q", i+1, rest)
 		}
-		if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		value, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
 			return samples, fmt.Errorf("line %d: bad sample value %q", i+1, fields[0])
 		}
 		samples++
+
+		// Histogram bookkeeping: route _bucket/_sum/_count samples of
+		// declared histogram families into their series.
+		fam, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, sfx) && histFamilies[strings.TrimSuffix(name, sfx)] {
+				fam, suffix = strings.TrimSuffix(name, sfx), sfx
+				break
+			}
+		}
+		if suffix == "" {
+			continue
+		}
+		labels, err := parseLabelPairs(labelStr)
+		if err != nil {
+			return samples, fmt.Errorf("line %d: %v in %q", i+1, err, line)
+		}
+		switch suffix {
+		case "_bucket":
+			var le float64
+			hasLE := false
+			ident := labels[:0:0]
+			for _, l := range labels {
+				if l[0] == "le" {
+					le, err = strconv.ParseFloat(l[1], 64)
+					if err != nil {
+						return samples, fmt.Errorf("line %d: bad le %q", i+1, l[1])
+					}
+					hasLE = true
+					continue
+				}
+				ident = append(ident, l)
+			}
+			if !hasLE {
+				return samples, fmt.Errorf("line %d: histogram bucket without le label in %q", i+1, line)
+			}
+			h := get(seriesKey(fam, ident))
+			if _, dup := h.buckets[le]; dup {
+				return samples, fmt.Errorf("line %d: duplicate bucket le=%g for %s", i+1, le, fam)
+			}
+			h.buckets[le] = value
+		case "_sum":
+			v := value
+			get(seriesKey(fam, labels)).sum = &v
+		case "_count":
+			v := value
+			get(seriesKey(fam, labels)).count = &v
+		}
+	}
+
+	// Per-series histogram invariants.
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		h := series[key]
+		if len(h.buckets) == 0 {
+			return samples, fmt.Errorf("histogram %s has _sum/_count but no buckets", key)
+		}
+		les := make([]float64, 0, len(h.buckets))
+		for le := range h.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		prev := math.Inf(-1)
+		prevCount := 0.0
+		for _, le := range les {
+			c := h.buckets[le]
+			if c < prevCount {
+				return samples, fmt.Errorf("histogram %s: bucket le=%g count %g below le=%g count %g (not cumulative)",
+					key, le, c, prev, prevCount)
+			}
+			prev, prevCount = le, c
+		}
+		inf, ok := h.buckets[math.Inf(1)]
+		if !ok {
+			return samples, fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", key)
+		}
+		if h.count == nil {
+			return samples, fmt.Errorf("histogram %s has no _count sample", key)
+		}
+		if *h.count != inf {
+			return samples, fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", key, *h.count, inf)
+		}
+		if h.sum == nil {
+			return samples, fmt.Errorf("histogram %s has no _sum sample", key)
+		}
 	}
 	return samples, nil
+}
+
+// parseLabelPairs parses the inside of a `{...}` label set into (key,
+// value) pairs, handling the exposition-format escapes.
+func parseLabelPairs(s string) ([][2]string, error) {
+	var out [][2]string
+	i := 0
+	for i < len(s) {
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		key := s[i : i+j]
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("label %s: unquoted value", key)
+		}
+		i++
+		var sb strings.Builder
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					sb.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			sb.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %s: unterminated value", key)
+		}
+		out = append(out, [2]string{key, sb.String()})
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, fmt.Errorf("junk after label %s", key)
+			}
+			i++
+		}
+	}
+	return out, nil
 }

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
+	"enduratrace/internal/obs"
 	"enduratrace/internal/trace"
 )
 
@@ -76,6 +78,59 @@ type eventQueue struct {
 	dropped  int64
 	ingested int64
 	scored   int64
+
+	// Instrumentation (instrument() turns it on; nil/zero otherwise).
+	// meta rides the ring in parallel with buf: per-event enqueue
+	// timestamp, decode duration, stream ordinal and flight-sample flag.
+	meta []evMeta
+	pipe *obs.Pipeline // per-model stage histograms (QueueWait observed at pop)
+
+	// lastPushNs/lastPopNs feed the stall watchdog: the monotonic time
+	// (obs.Now) of the most recent enqueue and dequeue. Atomics so the
+	// admin endpoints can read them against a live queue.
+	lastPushNs atomic.Int64
+	lastPopNs  atomic.Int64
+
+	// Consumer-side state, owned by the scoring goroutine (the only
+	// caller of Next, takeArrivals and takeFlight): the enqueue times of
+	// events popped since the last window decision (drained into the E2E
+	// histogram by the decision callback), and the most recent
+	// flight-sampled event awaiting its window's decision.
+	pending     []int64
+	flightSlot  poppedMeta
+	hasFlight   bool
+	flightSkips int
+}
+
+// evMeta is the per-event instrumentation carried through the ring.
+type evMeta struct {
+	enqNs    int64 // obs.Now at enqueue (arrival: decode complete)
+	decodeNs int64 // time spent obtaining the event off the socket
+	seq      uint64
+	flight   bool
+}
+
+// poppedMeta is an evMeta plus what the pop itself measured.
+type poppedMeta struct {
+	evMeta
+	waitNs int64 // time spent queued
+}
+
+// pendingCap bounds the consumer-side arrival buffer: a pathological
+// window holding more events than this loses the excess from the E2E
+// histogram (the stage histograms still see every event). 64k events per
+// window is ~25× the default pipeline's worst case.
+const pendingCap = 65536
+
+// instrument attaches the per-model stage histograms and allocates the
+// metadata ring. Must be called before the first Push.
+func (q *eventQueue) instrument(pipe *obs.Pipeline) {
+	q.pipe = pipe
+	q.meta = make([]evMeta, len(q.buf))
+	q.pending = make([]int64, 0, 256)
+	now := obs.Now()
+	q.lastPushNs.Store(now)
+	q.lastPopNs.Store(now)
 }
 
 func newEventQueue(capacity int, policy Backpressure) *eventQueue {
@@ -91,6 +146,14 @@ func newEventQueue(capacity int, policy Backpressure) *eventQueue {
 // Push enqueues ev according to the backpressure policy. It returns false
 // once the queue is closed (shutdown), telling the ingester to stop.
 func (q *eventQueue) Push(ev trace.Event) bool {
+	return q.PushTimed(ev, obs.Now(), 0, 0, false)
+}
+
+// PushTimed is Push carrying the event's instrumentation: its arrival
+// timestamp (obs.Now at decode completion), the decode duration, the
+// stream ordinal and whether the flight recorder sampled it. On an
+// uninstrumented queue the extras are simply dropped.
+func (q *eventQueue) PushTimed(ev trace.Event, enqNs, decodeNs int64, seq uint64, flight bool) bool {
 	q.mu.Lock()
 	if q.policy == Block {
 		for q.n == len(q.buf) && !q.closed {
@@ -106,7 +169,12 @@ func (q *eventQueue) Push(ev trace.Event) bool {
 		q.n--
 		q.dropped++
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = ev
+	i := (q.head + q.n) % len(q.buf)
+	q.buf[i] = ev
+	if q.meta != nil {
+		q.meta[i] = evMeta{enqNs: enqNs, decodeNs: decodeNs, seq: seq, flight: flight}
+		q.lastPushNs.Store(enqNs)
+	}
 	q.n++
 	// Count before unlocking: the consumer may pop (and bump scored) the
 	// instant the lock drops, and scored must never exceed ingested.
@@ -138,6 +206,10 @@ func (q *eventQueue) Next() (trace.Event, error) {
 	}
 	ev := q.buf[q.head]
 	q.buf[q.head] = trace.Event{} // drop payload reference
+	var m evMeta
+	if q.meta != nil {
+		m = q.meta[q.head]
+	}
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
 	// Count inside the lock: the event must never be invisible to a
@@ -145,7 +217,57 @@ func (q *eventQueue) Next() (trace.Event, error) {
 	q.scored++
 	q.mu.Unlock()
 	q.notFull.Signal()
+	if q.meta != nil {
+		now := obs.Now()
+		wait := now - m.enqNs
+		q.pipe.QueueWait.ObserveNs(wait)
+		q.lastPopNs.Store(now)
+		// Arrival times accumulate until the next window decision drains
+		// them into the E2E histogram; the cap bounds a pathological
+		// window (the stage histograms above still saw the event).
+		if len(q.pending) < pendingCap {
+			q.pending = append(q.pending, m.enqNs)
+		}
+		if m.flight {
+			if q.hasFlight {
+				q.flightSkips++ // previous sample never saw its decision
+			}
+			q.flightSlot = poppedMeta{evMeta: m, waitNs: wait}
+			q.hasFlight = true
+		}
+	}
 	return ev, nil
+}
+
+// takeArrivals hands the scoring goroutine the enqueue times of every
+// event popped since the previous call, for E2E observation at a window
+// decision. The returned slice is only valid until the next Next call;
+// observe it immediately.
+func (q *eventQueue) takeArrivals() []int64 {
+	a := q.pending
+	q.pending = q.pending[:0]
+	return a
+}
+
+// takeFlight returns the most recent flight-sampled pop since the
+// previous call, if any, plus how many earlier samples were overwritten
+// before their window's decision (skipped). Consumer-side only, like
+// takeArrivals.
+func (q *eventQueue) takeFlight() (m poppedMeta, skipped int, ok bool) {
+	skipped = q.flightSkips
+	q.flightSkips = 0
+	if !q.hasFlight {
+		return poppedMeta{}, skipped, false
+	}
+	q.hasFlight = false
+	return q.flightSlot, skipped, true
+}
+
+// LastTimes reports the obs.Now timestamps of the most recent enqueue and
+// dequeue, for the stall watchdog. Zero values mean the queue is not
+// instrumented.
+func (q *eventQueue) LastTimes() (pushNs, popNs int64) {
+	return q.lastPushNs.Load(), q.lastPopNs.Load()
 }
 
 // QueueCounters is one consistent observation of a queue's books.

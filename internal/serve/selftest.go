@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"enduratrace/internal/anomalystore"
 	"enduratrace/internal/core"
 	"enduratrace/internal/mediasim"
+	"enduratrace/internal/obs"
 	"enduratrace/internal/perturb"
 	"enduratrace/internal/recorder"
 	"enduratrace/internal/trace"
@@ -65,11 +67,11 @@ type SelftestOptions struct {
 	// was persisted (AnomalyIncidents == GateTrips) with zero store errors.
 	// The caller owns and closes the store.
 	Anomalies *anomalystore.Store
-	// QueueLen, Backpressure, Sinks, Log as in Options.
+	// QueueLen, Backpressure, Sinks, Logger as in Options.
 	QueueLen     int
 	Backpressure Backpressure
 	Sinks        recorder.SinkFactory
-	Log          io.Writer
+	Logger       *slog.Logger
 }
 
 // ClientReport is one loopback client's send-side accounting.
@@ -101,6 +103,14 @@ type SelftestReport struct {
 	MetricsSamples int                `json:"metrics_samples"`
 	ModelWindows   map[string]int64   `json:"model_windows,omitempty"`
 	Reload         *core.ReloadReport `json:"reload,omitempty"`
+	// Event→decision latency over every event scored, from the server's
+	// e2e pipeline histograms (all models merged). EventsObserved is that
+	// histogram's total count — with Block backpressure it must equal
+	// EventsSent, the proof that latency accounting loses no event.
+	EventsObserved uint64  `json:"events_observed"`
+	LatencyP50Ms   float64 `json:"latency_p50_ms"`
+	LatencyP99Ms   float64 `json:"latency_p99_ms"`
+	LatencyP999Ms  float64 `json:"latency_p999_ms"`
 }
 
 // Selftest starts a server on loopback, fans opts.Clients simulated
@@ -129,7 +139,7 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 		Backpressure: opts.Backpressure,
 		Sinks:        opts.Sinks,
 		Anomalies:    opts.Anomalies,
-		Log:          opts.Log,
+		Logger:       opts.Logger,
 	})
 	if err != nil {
 		return nil, err
@@ -265,6 +275,12 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 	if err != nil {
 		return nil, fmt.Errorf("serve: selftest /metrics: %w", err)
 	}
+	// Merge every model's e2e histogram for the latency report. All
+	// streams have drained and closed, so the snapshot is final.
+	var e2e obs.Snapshot
+	for _, p := range srv.pipelines() {
+		e2e.Merge(p.E2E.Snapshot())
+	}
 
 	cancel()
 	if err := <-serveErr; err != nil {
@@ -288,6 +304,23 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 	if wall > 0 {
 		rep.EventsPerS = float64(rep.EventsSent) / wall.Seconds()
 		rep.WindowsPerS = float64(rep.WindowsSent) / wall.Seconds()
+	}
+	rep.EventsObserved = e2e.Count()
+	rep.LatencyP50Ms = e2e.Quantile(0.50) * 1e3
+	rep.LatencyP99Ms = e2e.Quantile(0.99) * 1e3
+	rep.LatencyP999Ms = e2e.Quantile(0.999) * 1e3
+
+	// Latency books: the e2e histogram observes each event once, at the
+	// decision on its window — its count must equal the events sent (short
+	// only by counted drops under DropOldest).
+	if opts.Backpressure == DropOldest && stats.DroppedEvents > 0 {
+		if rep.EventsObserved > uint64(rep.EventsSent) {
+			return rep, fmt.Errorf("serve: selftest e2e histogram observed %d events > %d sent",
+				rep.EventsObserved, rep.EventsSent)
+		}
+	} else if rep.EventsObserved != uint64(rep.EventsSent) {
+		return rep, fmt.Errorf("serve: selftest e2e histogram observed %d events, clients sent %d",
+			rep.EventsObserved, rep.EventsSent)
 	}
 
 	// The cross-check: nothing sent may be missing from the books. Under

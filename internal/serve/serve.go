@@ -22,7 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -33,6 +34,7 @@ import (
 
 	"enduratrace/internal/anomalystore"
 	"enduratrace/internal/core"
+	"enduratrace/internal/obs"
 	"enduratrace/internal/recorder"
 	"enduratrace/internal/trace"
 	"enduratrace/internal/traceio"
@@ -71,9 +73,32 @@ type Options struct {
 	// AnomalyContext is how many pre-trip windows each incident carries
 	// (0 means DefaultAnomalyContext; negative disables context).
 	AnomalyContext int
-	// Log receives serving diagnostics (default: discard).
-	Log io.Writer
+	// Logger receives serving diagnostics (default: discard). Build one
+	// with NewLogger to get the -log-format text/json behaviour.
+	Logger *slog.Logger
+	// FlightEvery samples every Nth event per stream into the flight
+	// recorder (0 means DefaultFlightEvery; negative disables sampling).
+	FlightEvery int
+	// FlightCap bounds the flight recorder ring (default DefaultFlightCap).
+	FlightCap int
+	// StallAfter is how long a stream may hold queued events without the
+	// scorer making progress before /streams flags it stalled and the
+	// enduratrace_streams_stalled gauge counts it (default
+	// DefaultStallAfter; negative disables the watchdog).
+	StallAfter time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the admin
+	// listener. Off by default: profiles expose internals and CPU
+	// captures cost real cycles, so the handlers exist only when asked
+	// for (the -pprof flag).
+	EnablePprof bool
 }
+
+// Defaults for the observability knobs.
+const (
+	DefaultFlightEvery = 256
+	DefaultFlightCap   = 512
+	DefaultStallAfter  = 30 * time.Second
+)
 
 // StreamResult is one stream's final accounting, reported after it closes.
 type StreamResult struct {
@@ -135,6 +160,15 @@ type StreamView struct {
 	FullBytes       int64 `json:"full_bytes"`
 	RecordedBytes   int64 `json:"recorded_bytes"`
 	RecordedWindows int64 `json:"recorded_windows"`
+	// LastIngestAgeS and LastProgressAgeS are the stall watchdog's inputs:
+	// seconds since the ingester last enqueued an event and since the
+	// scorer last dequeued one. Stalled flags a stream holding queued
+	// events whose scorer has made no progress for Options.StallAfter —
+	// the signature of a wedged model or a sink blocked on I/O (an empty
+	// queue is never stalled, it is just idle).
+	LastIngestAgeS   float64 `json:"last_ingest_age_s"`
+	LastProgressAgeS float64 `json:"last_progress_age_s"`
+	Stalled          bool    `json:"stalled"`
 }
 
 // stream is the server-side state of one live connection.
@@ -171,8 +205,16 @@ type Server struct {
 	opts   Options
 	models *core.ModelRegistry
 	reg    *core.StreamRegistry
-	log    *log.Logger
+	log    *slog.Logger
 	start  time.Time
+
+	// flight is the sampled event flight recorder (nil when disabled).
+	flight *obs.Flight
+	// obsBy holds one Pipeline of stage histograms per model name,
+	// created on first use and never removed: latency history survives
+	// stream churn and model reloads, like the counter totals do.
+	obsMu sync.Mutex
+	obsBy map[string]*obs.Pipeline
 
 	traceLn net.Listener
 	adminLn net.Listener
@@ -219,21 +261,63 @@ func New(opts Options) (*Server, error) {
 	if opts.DrainTimeout <= 0 {
 		opts.DrainTimeout = 10 * time.Second
 	}
-	logw := opts.Log
-	if logw == nil {
-		logw = io.Discard
+	if opts.FlightEvery == 0 {
+		opts.FlightEvery = DefaultFlightEvery
+	}
+	if opts.FlightCap <= 0 {
+		opts.FlightCap = DefaultFlightCap
+	}
+	if opts.StallAfter == 0 {
+		opts.StallAfter = DefaultStallAfter
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	var flight *obs.Flight
+	if opts.FlightEvery > 0 {
+		flight = obs.NewFlight(opts.FlightEvery, opts.FlightCap)
 	}
 	return &Server{
 		opts:     opts,
 		models:   models,
 		reg:      core.NewStreamRegistry(models),
-		log:      log.New(logw, "serve: ", 0),
+		log:      logger,
 		start:    time.Now(),
+		flight:   flight,
+		obsBy:    make(map[string]*obs.Pipeline),
 		conns:    make(map[net.Conn]struct{}),
 		streams:  make(map[string]*stream),
 		closedBy: make(map[string]ioTotals),
 	}, nil
 }
+
+// pipelineFor returns the stage-histogram bundle for a model name,
+// creating it on first use.
+func (s *Server) pipelineFor(model string) *obs.Pipeline {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	p := s.obsBy[model]
+	if p == nil {
+		p = &obs.Pipeline{}
+		s.obsBy[model] = p
+	}
+	return p
+}
+
+// pipelines snapshots the per-model pipeline map for the metrics writer.
+func (s *Server) pipelines() map[string]*obs.Pipeline {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	out := make(map[string]*obs.Pipeline, len(s.obsBy))
+	for k, v := range s.obsBy {
+		out[k] = v
+	}
+	return out
+}
+
+// Flight returns the event flight recorder (nil when disabled).
+func (s *Server) Flight() *obs.Flight { return s.flight }
 
 // Models returns the server's model registry.
 func (s *Server) Models() *core.ModelRegistry { return s.models }
@@ -246,11 +330,12 @@ func (s *Server) Models() *core.ModelRegistry { return s.models }
 func (s *Server) Reload() (core.ReloadReport, error) {
 	rep, err := s.models.Reload()
 	if err != nil {
-		s.log.Printf("reload failed: %v", err)
+		s.log.Error("reload failed", "err", err)
 		return rep, err
 	}
-	s.log.Printf("reload #%d: models [%s], default %q (added %v, removed %v)",
-		rep.Generation, strings.Join(rep.Models, " "), rep.Default, rep.Added, rep.Removed)
+	s.log.Info("models reloaded", "generation", rep.Generation,
+		"models", strings.Join(rep.Models, " "), "default", rep.Default,
+		"added", rep.Added, "removed", rep.Removed)
 	return rep, nil
 }
 
@@ -404,7 +489,7 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	fr, err := traceio.NewFrameReader(conn)
 	if err != nil {
-		s.log.Printf("%s: rejected: %v", conn.RemoteAddr(), err)
+		s.log.Warn("connection rejected", "remote", conn.RemoteAddr().String(), "err", err)
 		return
 	}
 	h, err := s.reg.Register(fr.StreamName(), fr.ModelName())
@@ -418,13 +503,13 @@ func (s *Server) handleConn(conn net.Conn) {
 		} else {
 			s.rejRegister.Add(1)
 		}
-		s.log.Printf("%s: register: %v", conn.RemoteAddr(), err)
+		s.log.Warn("stream registration failed", "remote", conn.RemoteAddr().String(), "err", err)
 		return
 	}
 	sink, err := s.opts.Sinks(h.ID())
 	if err != nil {
 		s.rejSink.Add(1)
-		s.log.Printf("%s: sink: %v", h.ID(), err)
+		s.log.Warn("sink creation failed", "stream", h.ID(), "err", err)
 		// Discard, not Close: the stream never served, and a refusal that
 		// also bumped the closed-stream count would be double-booked.
 		h.Discard()
@@ -437,26 +522,44 @@ func (s *Server) handleConn(conn net.Conn) {
 		sink: ls,
 		conn: conn,
 	}
+	pipe := s.pipelineFor(h.Model().Name)
+	st.q.instrument(pipe)
 	st.fullBytes.Store(int64(traceio.HeaderSize()))
 	s.mu.Lock()
 	s.streams[h.ID()] = st
 	s.mu.Unlock()
-	s.log.Printf("%s: stream opened from %s (model %s)", h.ID(), conn.RemoteAddr(), h.Model().Name)
+	s.log.Info("stream opened", "stream", h.ID(),
+		"remote", conn.RemoteAddr().String(), "model", h.Model().Name)
 
+	var flightEvery uint64
+	if s.flight != nil {
+		flightEvery = s.flight.EveryN()
+	}
 	ingestErr := make(chan error, 1)
 	go func() {
 		var prev time.Duration
 		first := true
 		var err error
+		var seq uint64
 		for {
+			// The decode stage is timed around fr.Next, which blocks on the
+			// socket: the histogram honestly includes network wait, so an
+			// idle stream shows large decode latencies. That is the right
+			// default — a decode-only number would need timestamps inside
+			// the frame parser's read loop for little extra insight.
+			t0 := obs.Now()
 			var ev trace.Event
 			ev, err = fr.Next()
 			if err != nil {
 				break
 			}
+			now := obs.Now()
+			pipe.Decode.ObserveNs(now - t0)
 			st.fullBytes.Add(int64(traceio.EncodedSize(ev, prev, first)))
 			prev, first = ev.TS, false
-			if !st.q.Push(ev) {
+			seq++
+			sampled := flightEvery > 0 && seq%flightEvery == 0
+			if !st.q.PushTimed(ev, now, now-t0, seq, sampled) {
 				err = nil // queue closed by shutdown
 				break
 			}
@@ -472,9 +575,62 @@ func (s *Server) handleConn(conn net.Conn) {
 	// The ingest loop already accounts received bytes (including events a
 	// DropOldest queue sheds before scoring); don't pay for it twice.
 	h.Monitor().DisableByteAccounting()
-	var onDecision func(core.Decision) error
+	// The score timer fires synchronously before the decision callback on
+	// the scoring goroutine, so lastScoreNs is always the duration of the
+	// window the callback is looking at.
+	var lastScoreNs int64
+	h.Monitor().SetScoreTimer(func(d time.Duration) {
+		pipe.Score.Observe(d)
+		lastScoreNs = int64(d)
+	})
+	var inner func(core.Decision) error
 	if s.opts.Anomalies != nil {
-		onDecision = s.newTripRecorder(h).onDecision
+		inner = s.newTripRecorder(h).onDecision
+	}
+	onDecision := func(d core.Decision) error {
+		now := obs.Now()
+		// Every event popped since the previous decision belongs to this
+		// window: its end-to-end latency is arrival → this decision. This
+		// is what makes the e2e histogram's _count equal the number of
+		// events scored (the selftest asserts exactly that).
+		for _, enq := range st.q.takeArrivals() {
+			pipe.E2E.ObserveNs(now - enq)
+		}
+		if s.flight != nil {
+			fm, skipped, ok := st.q.takeFlight()
+			for i := 0; i < skipped; i++ {
+				s.flight.NoteSkipped()
+			}
+			if ok {
+				e2e := now - fm.enqNs
+				rec := obs.Record{
+					Stream:      h.ID(),
+					Model:       h.Model().Name,
+					Seq:         fm.seq,
+					Wall:        time.Now().Add(-time.Duration(e2e)),
+					DecodeNs:    fm.decodeNs,
+					QueueNs:     fm.waitNs,
+					ScoreNs:     lastScoreNs,
+					E2ENs:       e2e,
+					Window:      d.Window.Index,
+					GateTripped: d.GateTripped,
+					Anomalous:   d.Anomalous,
+				}
+				if !math.IsInf(d.GateDist, 0) && !math.IsNaN(d.GateDist) {
+					g := d.GateDist
+					rec.GateDist = &g
+				}
+				if d.GateTripped && !math.IsInf(d.LOF, 0) && !math.IsNaN(d.LOF) {
+					l := d.LOF
+					rec.LOF = &l
+				}
+				s.flight.Add(rec)
+			}
+		}
+		if inner != nil {
+			return inner(d)
+		}
+		return nil
 	}
 	stats, runErr := h.Monitor().Run(st.q, ls, onDecision)
 	// Close the queue before joining the ingester: if Run exited early (a
@@ -527,8 +683,9 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.closedBy[res.Model] = s.closedBy[res.Model].add(final)
 	s.mu.Unlock()
 	h.Close()
-	s.log.Printf("%s: stream closed: %d windows, %d anomalies, %d B recorded (model %s, clean=%v)",
-		h.ID(), res.Windows, res.Anomalies, res.RecordedBytes, res.Model, clean)
+	s.log.Info("stream closed", "stream", h.ID(), "model", res.Model,
+		"windows", res.Windows, "anomalies", res.Anomalies,
+		"recorded_bytes", res.RecordedBytes, "clean", clean)
 }
 
 // Stats assembles the live aggregate report (served by /stats). Safe to
@@ -578,22 +735,31 @@ func (s *Server) Streams() []StreamView {
 	out := make([]StreamView, 0, len(statuses))
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := obs.Now()
 	for _, status := range statuses {
 		st, ok := s.streams[status.ID]
 		if !ok {
 			continue // closed between the registry and server snapshots
 		}
 		qc := st.q.Counters()
-		out = append(out, StreamView{
-			StreamStatus:    status,
-			QueueDepth:      qc.Depth,
-			EventsIngested:  qc.Ingested,
-			EventsScored:    qc.Scored,
-			DroppedEvents:   qc.Dropped,
-			FullBytes:       st.fullBytes.Load(),
-			RecordedBytes:   st.sink.bytes.Load(),
-			RecordedWindows: st.sink.windows.Load(),
-		})
+		pushNs, popNs := st.q.LastTimes()
+		v := StreamView{
+			StreamStatus:     status,
+			QueueDepth:       qc.Depth,
+			EventsIngested:   qc.Ingested,
+			EventsScored:     qc.Scored,
+			DroppedEvents:    qc.Dropped,
+			FullBytes:        st.fullBytes.Load(),
+			RecordedBytes:    st.sink.bytes.Load(),
+			RecordedWindows:  st.sink.windows.Load(),
+			LastIngestAgeS:   float64(now-pushNs) / 1e9,
+			LastProgressAgeS: float64(now-popNs) / 1e9,
+		}
+		if s.opts.StallAfter > 0 && qc.Depth > 0 &&
+			now-popNs > int64(s.opts.StallAfter) {
+			v.Stalled = true
+		}
+		out = append(out, v)
 	}
 	return out
 }

@@ -240,11 +240,16 @@ func (e *EWMA) Value() float64 { return e.value }
 // Seeded reports whether any sample has been added.
 func (e *EWMA) Seeded() bool { return e.seeded }
 
-// Histogram is a fixed-bin histogram over [Lo, Hi); samples outside the
-// range land in the first/last bin.
+// Histogram is a fixed-bin histogram over [Lo, Hi). Samples outside the
+// range are not silently folded into the edge bins (which would hide
+// exactly the tail one is usually looking for): they land in the explicit
+// Under and Over counters, Total covers the in-range bins only, and
+// Count includes everything.
 type Histogram struct {
 	Lo, Hi float64
 	Bins   []int
+	// Under counts samples below Lo; Over counts samples at or above Hi.
+	Under, Over int
 }
 
 // NewHistogram creates a histogram with n bins over [lo, hi).
@@ -255,26 +260,34 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}
 }
 
-// Add records one sample.
+// Add records one sample. Out-of-range samples go to Under/Over.
 func (h *Histogram) Add(x float64) {
+	if x < h.Lo {
+		h.Under++
+		return
+	}
 	n := len(h.Bins)
 	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
-	if i < 0 {
-		i = 0
-	}
-	if i >= n {
-		i = n - 1
+	if i >= n || i < 0 { // i < 0 only via float rounding at the Lo edge
+		h.Over++
+		return
 	}
 	h.Bins[i]++
 }
 
-// Total returns the number of recorded samples.
+// Total returns the number of in-range samples (the sum of Bins).
 func (h *Histogram) Total() int {
 	t := 0
 	for _, b := range h.Bins {
 		t += b
 	}
 	return t
+}
+
+// Count returns every recorded sample, including Under and Over — the
+// number Add was called, so out-of-range tails can never be invisible.
+func (h *Histogram) Count() int {
+	return h.Total() + h.Under + h.Over
 }
 
 // BinCenter returns the centre value of bin i.

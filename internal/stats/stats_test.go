@@ -78,17 +78,26 @@ func TestEWMA(t *testing.T) {
 
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(0, 10, 5)
-	for _, x := range []float64{-1, 0, 3, 9.9, 42} {
+	for _, x := range []float64{-1, 0, 3, 9.9, 42, 10} {
 		h.Add(x)
 	}
-	if h.Total() != 5 {
-		t.Fatalf("total %d", h.Total())
+	if h.Total() != 3 { // only 0, 3, 9.9 are in [0, 10)
+		t.Fatalf("total %d, want 3", h.Total())
 	}
-	if h.Bins[0] != 2 { // -1 clamps into the first bin alongside 0
-		t.Fatalf("first bin %d, want 2", h.Bins[0])
+	if h.Count() != 6 { // every Add, including under/overflow
+		t.Fatalf("count %d, want 6", h.Count())
 	}
-	if h.Bins[4] != 2 { // 42 clamps into the last bin alongside 9.9
-		t.Fatalf("last bin %d, want 2", h.Bins[4])
+	if h.Under != 1 { // -1 is below Lo, not clamped into the first bin
+		t.Fatalf("under %d, want 1", h.Under)
+	}
+	if h.Over != 2 { // 42 and the boundary value 10 are >= Hi
+		t.Fatalf("over %d, want 2", h.Over)
+	}
+	if h.Bins[0] != 1 {
+		t.Fatalf("first bin %d, want 1", h.Bins[0])
+	}
+	if h.Bins[4] != 1 {
+		t.Fatalf("last bin %d, want 1", h.Bins[4])
 	}
 	if c := h.BinCenter(0); math.Abs(c-1) > 1e-12 {
 		t.Fatalf("BinCenter(0) = %g, want 1", c)
