@@ -34,12 +34,15 @@ bench:
 	$(GO) run ./cmd/enduratrace sweep -seeds 3 -out BENCH_sweep.json
 
 # Microbenchmarks for the monitoring hot path: LOF scoring (exact brute vs
-# condensed flat kernels vs VP-tree), the distance row/gate kernels, the
-# monitor's per-window cost, and the serve section (end-to-end loopback
-# socket throughput: frame codec → queue → monitor → sink). The
-# before/after pairs live side by side (ScoreBrute* vs ScoreCondensed*,
-# RowsSymKL vs RowsSymKLFast); the output is kept in BENCH_micro.txt so CI
-# can archive the perf trajectory.
+# condensed flat kernels vs VP-tree, single vs batched), the distance
+# row/gate kernels, frame decode (per-event vs batched), the monitor's
+# per-window cost, and the serve section (end-to-end loopback socket
+# throughput: frame codec → queue → monitor → sink). The before/after
+# pairs live side by side (ScoreBrute* vs ScoreCondensed*, RowsSymKL vs
+# RowsSymKLFast, FrameDecodeNext vs FrameDecodeBatch); the output is kept
+# in BENCH_micro.txt so CI can archive the perf trajectory and benchdiff
+# can gate regressions.
 microbench:
 	$(GO) test -run '^$$' -bench . -benchtime 20x -benchmem \
-		./internal/lof ./internal/distance ./internal/core ./internal/serve | tee BENCH_micro.txt
+		./internal/lof ./internal/distance ./internal/core ./internal/serve \
+		./internal/traceio | tee BENCH_micro.txt

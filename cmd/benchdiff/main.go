@@ -1,0 +1,135 @@
+// Command benchdiff compares two `go test -bench` output files and fails
+// when a gated benchmark regressed: CI runs the microbenchmark suite on
+// the base commit and the PR head, then gates the serve/score/decode hot
+// path on the ns/op delta. It is deliberately cruder than benchstat — one
+// sample per side, no significance testing — so the threshold must absorb
+// runner noise; 10% catches the step regressions that matter (an extra
+// allocation per event, a lost batch path) without flaking on jitter.
+//
+//	benchdiff -old BENCH_base.txt -new BENCH_head.txt \
+//	    -gate 'Serve|Score|Rows|Frame|Queue' -threshold 10
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line's numbers.
+type result struct {
+	nsPerOp     float64
+	allocsPerOp float64 // -1 when the line carried no -benchmem columns
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+var allocsCol = regexp.MustCompile(`([0-9.]+) allocs/op`)
+
+// parseFile reads every benchmark line, keyed by name with the
+// -GOMAXPROCS suffix stripped so runs from different machines line up.
+// A name appearing more than once (e.g. -count > 1) keeps the best run,
+// which is the standard way to discard warm-up and scheduling noise.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]result)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		r := result{nsPerOp: ns, allocsPerOp: -1}
+		if am := allocsCol.FindStringSubmatch(m[3]); am != nil {
+			r.allocsPerOp, _ = strconv.ParseFloat(am[1], 64)
+		}
+		if prev, ok := out[name]; ok && prev.nsPerOp <= r.nsPerOp {
+			continue
+		}
+		out[name] = r
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchmark output (required)")
+	newPath := flag.String("new", "", "candidate benchmark output (required)")
+	threshold := flag.Float64("threshold", 10, "max allowed ns/op regression in percent on gated benchmarks")
+	gate := flag.String("gate", ".", "regexp of benchmark names to gate (others are reported but never fail)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -gate: %v\n", err)
+		os.Exit(2)
+	}
+	oldRes, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRes, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(oldRes) == 0 || len(newRes) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark lines in %s or %s\n", *oldPath, *newPath)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := 0
+	for _, name := range names {
+		nw := newRes[name]
+		od, ok := oldRes[name]
+		if !ok {
+			fmt.Printf("NEW     %-50s %12.0f ns/op\n", name, nw.nsPerOp)
+			continue
+		}
+		pct := (nw.nsPerOp - od.nsPerOp) / od.nsPerOp * 100
+		status := "ok"
+		gated := gateRe.MatchString(name)
+		if gated && pct > *threshold {
+			status = "REGRESSED"
+			regressed++
+		} else if !gated {
+			status = "ungated"
+		}
+		fmt.Printf("%-9s %-50s %12.0f → %12.0f ns/op (%+.1f%%)", status, name, od.nsPerOp, nw.nsPerOp, pct)
+		if od.allocsPerOp >= 0 && nw.allocsPerOp >= 0 && nw.allocsPerOp != od.allocsPerOp {
+			fmt.Printf("  allocs %0.f → %0.f", od.allocsPerOp, nw.allocsPerOp)
+		}
+		fmt.Println()
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d gated benchmark(s) regressed more than %.0f%%\n", regressed, *threshold)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseFile(t *testing.T) {
+	p := writeBench(t, "bench.txt", `goos: linux
+BenchmarkServeLoopback-8             20      31669724 ns/op    157894 events/s     319295 B/op       776 allocs/op
+BenchmarkRowsSymKL1000-8           5000        507000 ns/op
+BenchmarkRowsSymKL1000-8           5000        490000 ns/op
+PASS
+`)
+	res, err := parseFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(res), res)
+	}
+	// -8 suffix stripped, allocs column captured.
+	sl, ok := res["BenchmarkServeLoopback"]
+	if !ok || sl.nsPerOp != 31669724 || sl.allocsPerOp != 776 {
+		t.Fatalf("ServeLoopback parsed as %+v (present %v)", sl, ok)
+	}
+	// Duplicate names keep the best (lowest ns/op) run; no -benchmem
+	// columns means allocsPerOp -1.
+	rk := res["BenchmarkRowsSymKL1000"]
+	if rk.nsPerOp != 490000 || rk.allocsPerOp != -1 {
+		t.Fatalf("RowsSymKL parsed as %+v", rk)
+	}
+}

@@ -35,6 +35,8 @@ func coreFlags(fs *flag.FlagSet, def core.Config) func() (core.Config, error) {
 	seed := fs.Int64("model-seed", def.Seed, "VP-tree construction / condensation seed")
 	condense := fs.Int("condense", def.CondenseTarget,
 		"condense the reference set to at most N points by farthest-point sampling (0 = keep all, bit-exact scoring)")
+	fastKernels := fs.Bool("fast-kernels", def.FastKernels,
+		"score through precomputed-log KL-family kernels (~1e-9 relative error, several times faster; kl/symkl/jsd LOF distance only)")
 	list := fs.Bool("list-distances", false, "print the distance catalogue and exit")
 	return func() (core.Config, error) {
 		if *list {
@@ -55,6 +57,7 @@ func coreFlags(fs *flag.FlagSet, def core.Config) func() (core.Config, error) {
 		cfg.Smoothing = *smoothing
 		cfg.IncludeRate = *rate
 		cfg.CondenseTarget = *condense
+		cfg.FastKernels = *fastKernels
 		if err := applyGateThreshold(&cfg, *gateThreshold, *gateAutoQ); err != nil {
 			return cfg, err
 		}

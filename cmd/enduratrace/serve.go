@@ -48,6 +48,7 @@ func cmdServe(args []string) error {
 	clientSeed := fs.Int64("client-seed", 100, "selftest: client i simulates seed client-seed+i")
 	clientFactor := fs.Float64("client-factor", 3, "selftest: periodic CPU perturbation factor per client (1 = clean)")
 	refDur := fs.Duration("ref-duration", 30*time.Second, "selftest: reference run length when learning in-process (no model file)")
+	fastKernels := fs.Bool("fast-kernels", false, "in-process learned models (selftest / missing -model) score through precomputed-log KL-family kernels (~1e-9 relative error, several times faster); file-loaded models keep their saved setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +91,7 @@ func cmdServe(args []string) error {
 		selftestModels: *selftestModels,
 		refDur:         *refDur,
 		alpha:          *alpha,
+		fastKernels:    *fastKernels,
 	})
 	if err != nil {
 		return err
@@ -199,6 +201,7 @@ type serveRegistryOptions struct {
 	selftestModels int
 	refDur         time.Duration
 	alpha          float64
+	fastKernels    bool
 }
 
 // serveRegistry assembles the model registry the daemon serves from, in
@@ -233,7 +236,7 @@ func serveRegistry(o serveRegistryOptions) (*core.ModelRegistry, func(), error) 
 		return nil, nil, err
 	}
 	fmt.Fprintf(os.Stderr, "serve: no model at %s, learning in-process from a %v clean reference\n", o.modelFile, o.refDur)
-	cfg, learned, err = learnInProcess(1, o.refDur, o.alpha)
+	cfg, learned, err = learnInProcess(1, o.refDur, o.alpha, o.fastKernels)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -259,7 +262,7 @@ func selftestModelDir(o serveRegistryOptions) (*core.ModelRegistry, func(), erro
 	fmt.Fprintf(os.Stderr, "serve: selftest, learning %d in-process models (%v clean reference each) into %s\n",
 		n, o.refDur, dir)
 	for i := 0; i < n; i++ {
-		cfg, learned, err := learnInProcess(int64(i+1), o.refDur, o.alpha)
+		cfg, learned, err := learnInProcess(int64(i+1), o.refDur, o.alpha, o.fastKernels)
 		if err != nil {
 			cleanup()
 			return nil, nil, err
@@ -279,11 +282,12 @@ func selftestModelDir(o serveRegistryOptions) (*core.ModelRegistry, func(), erro
 }
 
 // learnInProcess learns one model from a clean simulated reference.
-func learnInProcess(seed int64, refDur time.Duration, alpha float64) (core.Config, *core.Learned, error) {
+func learnInProcess(seed int64, refDur time.Duration, alpha float64, fastKernels bool) (core.Config, *core.Learned, error) {
 	cfg := eval.DefaultOptions().Core
 	if alpha > 0 {
 		cfg.Alpha = alpha
 	}
+	cfg.FastKernels = fastKernels
 	sc := mediasim.DefaultConfig()
 	sc.Duration = refDur
 	sc.Seed = seed

@@ -38,6 +38,7 @@ func cmdSim(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	stream := fs.String("stream", "", "stream name sent to the serve daemon (tcp:// output only)")
 	model := fs.String("model", "", "registry model to score this stream with (tcp:// output only; '' = the daemon's default, sent as a v1 frame header)")
+	flushEvery := fs.Int("flush-every", 0, "flush the framed stream every N events (tcp:// output only; 0 = flush only when a frame fills, the batch-friendly default)")
 	mkLoad := loadFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,10 +64,13 @@ func cmdSim(args []string) error {
 		if *text {
 			return fmt.Errorf("sim: -text is not supported with a tcp:// output")
 		}
-		return simToServer(sim, addr, *stream, *model, *duration)
+		return simToServer(sim, addr, *stream, *model, *duration, *flushEvery)
 	}
 	if *model != "" {
 		return fmt.Errorf("sim: -model only applies to a tcp:// output")
+	}
+	if *flushEvery != 0 {
+		return fmt.Errorf("sim: -flush-every only applies to a tcp:// output")
 	}
 
 	var w io.Writer = os.Stdout
@@ -113,8 +117,10 @@ func cmdSim(args []string) error {
 // simToServer streams the simulation to a running `enduratrace serve`
 // daemon over the framed TCP protocol and closes the stream cleanly. A
 // non-empty model is sent in a v2 frame header, asking the daemon to
-// score the stream with that registry model.
-func simToServer(sim *mediasim.Sim, addr, stream, model string, duration time.Duration) error {
+// score the stream with that registry model. flushEvery > 0 forces a
+// frame flush every that many events, trading the batch-sized frames the
+// server's batched ingest likes best for lower per-event latency.
+func simToServer(sim *mediasim.Sim, addr, stream, model string, duration time.Duration, flushEvery int) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("sim: dialing serve daemon: %w", err)
@@ -124,9 +130,31 @@ func simToServer(sim *mediasim.Sim, addr, stream, model string, duration time.Du
 	if err != nil {
 		return err
 	}
-	n, err := trace.Copy(fw, sim)
-	if err != nil {
-		return err
+	var n int
+	if flushEvery > 0 {
+		for {
+			ev, rerr := sim.Next()
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				return rerr
+			}
+			if err := fw.Write(ev); err != nil {
+				return err
+			}
+			n++
+			if n%flushEvery == 0 {
+				if err := fw.Flush(); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		n, err = trace.Copy(fw, sim)
+		if err != nil {
+			return err
+		}
 	}
 	if err := fw.Close(); err != nil {
 		return err

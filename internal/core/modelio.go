@@ -43,6 +43,11 @@ type modelFile struct {
 	CondenseTarget int                 `json:"condense_target,omitempty"`
 	Condense       *lof.CondenseReport `json:"condense,omitempty"`
 
+	// FastKernels records the Config.FastKernels opt-in so a reloaded
+	// model scores through the same (fast, approximate) kernels it was
+	// deployed with. Absent in older files, which load bit-exact.
+	FastKernels bool `json:"fast_kernels,omitempty"`
+
 	// Auto gate calibration: the threshold derived from the reference
 	// trace's gate-distance quantiles (see Config.GateAuto).
 	GateAuto          bool    `json:"gate_auto,omitempty"`
@@ -92,6 +97,7 @@ func SaveModel(w io.Writer, cfg Config, l *Learned) error {
 		MeanCount:         l.MeanCount,
 		CondenseTarget:    cfg.CondenseTarget,
 		Condense:          l.Model.Cond,
+		FastKernels:       cfg.FastKernels,
 		GateAuto:          cfg.GateAuto,
 		GateAutoQuantile:  cfg.GateAutoQuantile,
 		AutoGateThreshold: l.AutoGateThreshold,
@@ -141,6 +147,7 @@ func LoadModel(r io.Reader) (Config, *Learned, error) {
 		CondenseTarget:   mf.CondenseTarget,
 		GateAuto:         mf.GateAuto,
 		GateAutoQuantile: mf.GateAutoQuantile,
+		FastKernels:      mf.FastKernels,
 	}
 	if err := cfg.Validate(); err != nil {
 		return Config{}, nil, fmt.Errorf("core: model file config: %w", err)
@@ -152,6 +159,7 @@ func LoadModel(r io.Reader) (Config, *Learned, error) {
 		UseVPTree:      mf.UseVPTree,
 		Seed:           mf.Seed,
 		CondenseTarget: mf.CondenseTarget,
+		FastKernels:    mf.FastKernels,
 	})
 	if err != nil {
 		return Config{}, nil, fmt.Errorf("core: refitting model: %w", err)

@@ -91,6 +91,12 @@ type Config struct {
 	// re-tripping through the interior of a shifted regime (a ceiling
 	// quantile like 0.99 only catches regime edges).
 	GateAutoQuantile float64
+	// FastKernels opts the LOF index into the precomputed-log KL-family
+	// row kernels (see lof.FitOptions.FastKernels): several times faster
+	// per score, approximate within ~1e-9 relative of the exact kernels.
+	// High-rate serving wants this on; offline eval keeps the bit-exact
+	// default. No-op for non-KL-family LOF distances and under UseVPTree.
+	FastKernels bool
 }
 
 // NewConfig returns the configuration used in the paper's experiment
@@ -272,6 +278,27 @@ func (m *Monitor) DisableByteAccounting() { m.noAcct = true }
 // it is valid until the next ProcessWindow call; callers that retain it
 // must clone it.
 func (m *Monitor) ProcessWindow(w window.Window) Decision {
+	d := m.gateWindow(w)
+	if !d.GateTripped {
+		return d
+	}
+	m.lofCalls.Add(1)
+	d.LOF = m.scorer.Score(d.Features)
+	d.Anomalous = d.LOF >= m.cfg.Alpha
+	if d.Anomalous {
+		m.anoms.Add(1)
+	}
+	return d
+}
+
+// gateWindow is ProcessWindow minus the LOF tail: featurize, run the
+// gate, and update the past pmf. On a trip the decision comes back with
+// LOF NaN and Anomalous unset — the caller owns the scoring step
+// (ProcessWindow runs it inline; the batched Run amortizes one
+// ScoreBatch across all tripped windows of an event batch). The split is
+// semantics-preserving because the past-pmf update depends only on the
+// gate outcome, never on the LOF value.
+func (m *Monitor) gateWindow(w window.Window) Decision {
 	m.windows.Add(1)
 	features := m.feat.FeaturesInto(m.featBuf, m.counts, w)
 	npmf := m.feat.PMFOnly(features)
@@ -298,12 +325,6 @@ func (m *Monitor) ProcessWindow(w window.Window) Decision {
 	}
 
 	m.trips.Add(1)
-	m.lofCalls.Add(1)
-	d.LOF = m.scorer.Score(features)
-	d.Anomalous = d.LOF >= m.cfg.Alpha
-	if d.Anomalous {
-		m.anoms.Add(1)
-	}
 	// Regime switch: the past pmf restarts at the new behaviour so the gate
 	// re-arms instead of tripping on every subsequent window of a changed
 	// but steady regime.
@@ -416,6 +437,7 @@ func Learn(cfg Config, r trace.Reader) (*Learned, error) {
 		UseVPTree:      cfg.UseVPTree,
 		Seed:           cfg.Seed,
 		CondenseTarget: cfg.CondenseTarget,
+		FastKernels:    cfg.FastKernels,
 	})
 	if err != nil {
 		return nil, err
@@ -500,8 +522,20 @@ func Run(cfg Config, learned *Learned, r trace.Reader, sink recorder.Sink,
 // Run for the sink/callback semantics. Each Monitor owns its windower and
 // byte accounting, so concurrent Monitors over one shared Learned can Run
 // independent streams in parallel.
+//
+// When r implements trace.BatchReader (the framed network reader and the
+// serve event queue do), Run switches to a batched pipeline: events drain
+// in batches, and all windows completed by one event batch are gated
+// first and then LOF-scored in a single lof.Scorer.ScoreBatch matrix
+// sweep. Every decision, counter, and callback is identical to the
+// per-event path and arrives in the same order — only the kernel loop
+// order changes.
 func (m *Monitor) Run(r trace.Reader, sink recorder.Sink,
 	onDecision func(Decision) error) (RunStats, error) {
+
+	if br, ok := r.(trace.BatchReader); ok {
+		return m.runBatched(br, sink, onDecision)
+	}
 
 	var stats RunStats
 	var acct *traceio.SizeAccountant
@@ -580,6 +614,195 @@ func (m *Monitor) Run(r trace.Reader, sink recorder.Sink,
 	}
 	if w, ok := wdr.Flush(); ok {
 		if perr := process(w); perr != nil {
+			return stats, perr
+		}
+	}
+
+	if acct != nil {
+		stats.FullBytes = acct.Bytes()
+	}
+	if sink != nil {
+		stats.RecBytes = sink.BytesWritten()
+		stats.RecWindows = sink.WindowsRecorded()
+	}
+	return stats, nil
+}
+
+// batchEvents is the ingest granularity of the batched Run path: events
+// drain from the BatchReader up to this many at a time, and the windows
+// they complete share one ScoreBatch pass.
+const batchEvents = 512
+
+// runBatched is the trace.BatchReader fast path of Run. Each event batch
+// is processed in three phases — gate every completed window (stashing a
+// per-window feature copy), LOF-score all tripped windows in one
+// ScoreBatch sweep, then emit decisions in window order — so decisions,
+// stats, and callback order match the per-event path exactly.
+func (m *Monitor) runBatched(r trace.BatchReader, sink recorder.Sink,
+	onDecision func(Decision) error) (RunStats, error) {
+
+	var stats RunStats
+	var acct *traceio.SizeAccountant
+	if !m.noAcct {
+		acct = traceio.NewSizeAccountant()
+	}
+	ctxSink, _ := sink.(*recorder.ContextSink)
+
+	wdr := m.cfg.NewWindower()
+	byTime, _ := wdr.(*window.ByTime)
+
+	fdim := m.feat.FeatureDim()
+	evBuf := make([]trace.Event, batchEvents)
+	var (
+		wins      []window.Window // windows completed by the current batch
+		decs      []Decision
+		gateNs    []int64   // per-window stage duration (scoreTimer only)
+		featArena []float64 // backing store for the per-window feature copies
+		queries   [][]float64
+		qIdx      []int // decs index of each query
+		scores    []float64
+	)
+
+	processBatch := func() error {
+		// Phase 1 — gate every window. Features are copied out of the
+		// monitor's single featurization buffer into a per-batch arena so
+		// each decision keeps its own (contractually, Decision.Features is
+		// valid until the next window is processed; distinct slices per
+		// window within the batch are strictly safer).
+		decs = decs[:0]
+		queries = queries[:0]
+		qIdx = qIdx[:0]
+		gateNs = gateNs[:0]
+		if need := len(wins) * fdim; cap(featArena) < need {
+			featArena = make([]float64, need)
+		}
+		for i, w := range wins {
+			var t0 time.Time
+			if m.scoreTimer != nil {
+				t0 = time.Now()
+			}
+			d := m.gateWindow(w)
+			feat := featArena[i*fdim : (i+1)*fdim]
+			copy(feat, d.Features)
+			d.Features = feat
+			if m.scoreTimer != nil {
+				gateNs = append(gateNs, time.Since(t0).Nanoseconds())
+			}
+			if d.GateTripped {
+				qIdx = append(qIdx, len(decs))
+				queries = append(queries, feat)
+			}
+			decs = append(decs, d)
+		}
+
+		// Phase 2 — one batched LOF sweep across all tripped windows. The
+		// sweep's wall time is split evenly across them for the scoreTimer,
+		// preserving its call-before-the-window's-callbacks contract.
+		if len(queries) > 0 {
+			var t0 time.Time
+			if m.scoreTimer != nil {
+				t0 = time.Now()
+			}
+			if cap(scores) < len(queries) {
+				scores = make([]float64, len(queries))
+			}
+			scores = scores[:len(queries)]
+			m.scorer.ScoreBatch(queries, scores)
+			m.lofCalls.Add(int64(len(queries)))
+			var share int64
+			if m.scoreTimer != nil {
+				share = time.Since(t0).Nanoseconds() / int64(len(queries))
+			}
+			for qi, di := range qIdx {
+				d := &decs[di]
+				d.LOF = scores[qi]
+				d.Anomalous = d.LOF >= m.cfg.Alpha
+				if d.Anomalous {
+					m.anoms.Add(1)
+				}
+				if m.scoreTimer != nil {
+					gateNs[di] += share
+				}
+			}
+		}
+
+		// Phase 3 — emit in window order, with the same bookkeeping and
+		// abort points as the per-event path.
+		for i := range decs {
+			d := decs[i]
+			w := wins[i]
+			stats.Windows++
+			if stats.Windows == 1 {
+				stats.Start = w.Start
+			}
+			stats.End = w.End
+			if d.GateTripped {
+				stats.GateTrips++
+			}
+			if m.scoreTimer != nil {
+				m.scoreTimer(time.Duration(gateNs[i]))
+			}
+			if ctxSink != nil {
+				if err := ctxSink.Observe(w); err != nil {
+					return err
+				}
+			}
+			if d.Anomalous {
+				stats.Anomalies++
+				if sink != nil {
+					if err := sink.Record(w); err != nil {
+						return err
+					}
+				}
+			}
+			if onDecision != nil {
+				if err := onDecision(d); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	for {
+		n, err := r.ReadBatch(evBuf)
+		if n > 0 {
+			wins = wins[:0]
+			for _, ev := range evBuf[:n] {
+				if acct != nil {
+					if aerr := acct.Write(ev); aerr != nil {
+						return stats, aerr
+					}
+				}
+				if w, ok := wdr.Add(ev); ok {
+					wins = append(wins, w)
+				}
+				if byTime != nil {
+					for {
+						w, ok := byTime.Drain()
+						if !ok {
+							break
+						}
+						wins = append(wins, w)
+					}
+				}
+			}
+			if len(wins) > 0 {
+				if perr := processBatch(); perr != nil {
+					return stats, perr
+				}
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return stats, err
+		}
+	}
+	if w, ok := wdr.Flush(); ok {
+		wins = append(wins[:0], w)
+		if perr := processBatch(); perr != nil {
 			return stats, perr
 		}
 	}

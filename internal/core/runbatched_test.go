@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"enduratrace/internal/recorder"
+	"enduratrace/internal/trace"
+	"enduratrace/internal/window"
+)
+
+// nonBatchReader hides SliceReader's ReadBatch so Run takes the
+// per-event path — the reference behaviour the batched path must match.
+type nonBatchReader struct{ r *trace.SliceReader }
+
+func (n nonBatchReader) Next() (trace.Event, error) { return n.r.Next() }
+
+// decisionLog captures the fields of every decision, with features
+// cloned (the originals alias reusable buffers).
+type decisionLog struct {
+	gateDist float64
+	tripped  bool
+	lof      float64
+	anom     bool
+	start    time.Duration
+	features []float64
+}
+
+func logDecisions(dst *[]decisionLog) func(Decision) error {
+	return func(d Decision) error {
+		*dst = append(*dst, decisionLog{
+			gateDist: d.GateDist,
+			tripped:  d.GateTripped,
+			lof:      d.LOF,
+			anom:     d.Anomalous,
+			start:    d.Window.Start,
+			features: append([]float64(nil), d.Features...),
+		})
+		return nil
+	}
+}
+
+// perturbedRun splices an anomalous segment into a clean trace so the
+// batched path exercises quiet gates, trips, and anomalies alike.
+func perturbedRun() []trace.Event {
+	var run []trace.Event
+	run = append(run, synth(0, time.Second, refWeights, 2)...)
+	run = append(run, synth(time.Second, 1200*time.Millisecond, []float64{0, 1, 10, 10}, 3)...)
+	run = append(run, synth(1200*time.Millisecond, 3*time.Second, refWeights, 4)...)
+	return run
+}
+
+// TestRunBatchedMatchesPerEvent: running the same trace through the
+// per-event and the batched (trace.BatchReader) paths must produce
+// bit-identical decisions in the same order, identical RunStats, and
+// identical sink contents.
+func TestRunBatchedMatchesPerEvent(t *testing.T) {
+	cfg := testConfig()
+	ref := synth(0, 2*time.Second, refWeights, 1)
+	learned, err := Learn(cfg, trace.NewSliceReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := perturbedRun()
+
+	var wantLog []decisionLog
+	wantSink := recorder.NewMemSink()
+	wantStats, err := Run(cfg, learned, nonBatchReader{trace.NewSliceReader(run)},
+		wantSink, logDecisions(&wantLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantStats.Anomalies == 0 || wantStats.GateTrips <= wantStats.Anomalies {
+		t.Fatalf("reference run too tame to be a useful oracle: %+v", wantStats)
+	}
+
+	var gotLog []decisionLog
+	gotSink := recorder.NewMemSink()
+	gotStats, err := Run(cfg, learned, trace.NewSliceReader(run),
+		gotSink, logDecisions(&gotLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if gotStats != wantStats {
+		t.Fatalf("batched RunStats %+v != per-event %+v", gotStats, wantStats)
+	}
+	if len(gotLog) != len(wantLog) {
+		t.Fatalf("batched path emitted %d decisions, per-event %d", len(gotLog), len(wantLog))
+	}
+	for i := range wantLog {
+		w, g := wantLog[i], gotLog[i]
+		sameLOF := g.lof == w.lof || (math.IsNaN(g.lof) && math.IsNaN(w.lof))
+		if g.start != w.start || g.gateDist != w.gateDist || g.tripped != w.tripped ||
+			!sameLOF || g.anom != w.anom {
+			t.Fatalf("decision %d differs: batched %+v vs per-event %+v", i, g, w)
+		}
+		for j := range w.features {
+			if g.features[j] != w.features[j] {
+				t.Fatalf("decision %d feature %d differs: %v vs %v", i, j, g.features[j], w.features[j])
+			}
+		}
+	}
+	if len(gotSink.Windows) != len(wantSink.Windows) {
+		t.Fatalf("batched sink recorded %d windows, per-event %d",
+			len(gotSink.Windows), len(wantSink.Windows))
+	}
+	for i := range wantSink.Windows {
+		if gotSink.Windows[i].Index != wantSink.Windows[i].Index {
+			t.Fatalf("sink window %d: index %d vs %d", i,
+				gotSink.Windows[i].Index, wantSink.Windows[i].Index)
+		}
+	}
+}
+
+// TestRunBatchedFastKernelsMatchesPerEvent repeats the equivalence check
+// on a FastKernels model — the serve-path configuration — so the batched
+// fast kernels are pinned against the single-query fast kernels.
+func TestRunBatchedFastKernelsMatchesPerEvent(t *testing.T) {
+	cfg := testConfig()
+	cfg.FastKernels = true
+	ref := synth(0, 2*time.Second, refWeights, 1)
+	learned, err := Learn(cfg, trace.NewSliceReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := perturbedRun()
+
+	var wantLog, gotLog []decisionLog
+	wantStats, err := Run(cfg, learned, nonBatchReader{trace.NewSliceReader(run)}, nil, logDecisions(&wantLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStats, err := Run(cfg, learned, trace.NewSliceReader(run), nil, logDecisions(&gotLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats != wantStats {
+		t.Fatalf("batched RunStats %+v != per-event %+v", gotStats, wantStats)
+	}
+	for i := range wantLog {
+		w, g := wantLog[i], gotLog[i]
+		sameLOF := g.lof == w.lof || (math.IsNaN(g.lof) && math.IsNaN(w.lof))
+		if g.gateDist != w.gateDist || g.tripped != w.tripped || !sameLOF || g.anom != w.anom {
+			t.Fatalf("decision %d differs: batched %+v vs per-event %+v", i, g, w)
+		}
+	}
+}
+
+// TestRunBatchedCallbackAbort: a failing decision callback must abort
+// the batched run with the same partial RunStats as the per-event path.
+func TestRunBatchedCallbackAbort(t *testing.T) {
+	cfg := testConfig()
+	ref := synth(0, 2*time.Second, refWeights, 1)
+	learned, err := Learn(cfg, trace.NewSliceReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := perturbedRun()
+	boom := errors.New("boom")
+	abortAfter := func(n int) func(Decision) error {
+		seen := 0
+		return func(Decision) error {
+			seen++
+			if seen >= n {
+				return boom
+			}
+			return nil
+		}
+	}
+	const stopAt = 7
+	wantStats, wantErr := Run(cfg, learned, nonBatchReader{trace.NewSliceReader(run)}, nil, abortAfter(stopAt))
+	gotStats, gotErr := Run(cfg, learned, trace.NewSliceReader(run), nil, abortAfter(stopAt))
+	if !errors.Is(wantErr, boom) || !errors.Is(gotErr, boom) {
+		t.Fatalf("abort errors: per-event %v, batched %v, want boom", wantErr, gotErr)
+	}
+	if gotStats != wantStats {
+		t.Fatalf("aborted RunStats differ: batched %+v vs per-event %+v", gotStats, wantStats)
+	}
+}
+
+// TestModelSaveLoadRoundTripFastKernels: the FastKernels opt-in must
+// survive save/load, and the reloaded model must score exactly like the
+// original (both route through the same fast kernels).
+func TestModelSaveLoadRoundTripFastKernels(t *testing.T) {
+	cfg := testConfig()
+	cfg.FastKernels = true
+	ref := synth(0, 2*time.Second, refWeights, 1)
+	learned, err := Learn(cfg, trace.NewSliceReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, cfg, learned); err != nil {
+		t.Fatal(err)
+	}
+	cfg2, learned2, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg2.FastKernels {
+		t.Fatal("FastKernels flag lost across save/load")
+	}
+	q := learned.Featurizer.Features(window.Window{
+		Start: 0, End: 20 * time.Millisecond,
+		Events: synth(0, 20*time.Millisecond, refWeights, 9),
+	})
+	if a, b := learned.Model.Score(q), learned2.Model.Score(q); a != b {
+		t.Fatalf("reloaded FastKernels model scores %v, original %v", b, a)
+	}
+}

@@ -84,11 +84,74 @@ func benchmarkRows(b *testing.B, name string, fast bool) {
 	}
 }
 
+// benchmarkRowsBatch measures nq queries against the same 1000-row
+// matrix in one batched sweep — the ScoreBatch inner loop. Per-op cost
+// divided by nq is the per-query number to compare against the
+// single-query kernels above.
+func benchmarkRowsBatch(b *testing.B, name string, nq int, fast bool) {
+	const dim, n = 26, 1000
+	rng := rand.New(rand.NewSource(1))
+	flat := randRows(rng, n, dim, 0)
+	qs := randRows(rng, nq, dim, 0)
+	out := make([]float64, nq*n)
+	if fast {
+		if !FastRowsFor(name) {
+			b.Fatalf("no fast kernel for %s", name)
+		}
+		table := NewLogRows(flat, dim)
+		qlogs := make([]float64, nq*dim)
+		qents := make([]float64, nq)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			switch name {
+			case "symkl":
+				QueryLogs(qs, qlogs)
+				table.SymKLRowsBatch(qs, qlogs, nq, out)
+			case "kl":
+				QueryLogs(qs, qlogs)
+				table.KLRowsBatch(qs, qlogs, nq, out)
+			case "jsd":
+				for k := 0; k < nq; k++ {
+					qents[k] = QueryNegEntropy(qs[k*dim : (k+1)*dim])
+				}
+				table.JSDRowsBatch(qs, qents, nq, out)
+			}
+			benchSink += out[0]
+		}
+		return
+	}
+	batch := RowsBatchOf(Must(name))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch(qs, flat, dim, nq, out)
+		benchSink += out[0]
+	}
+}
+
 func BenchmarkRowsSymKL1000(b *testing.B)     { benchmarkRows(b, "symkl", false) }
 func BenchmarkRowsSymKLFast1000(b *testing.B) { benchmarkRows(b, "symkl", true) }
 func BenchmarkRowsKLFast1000(b *testing.B)    { benchmarkRows(b, "kl", true) }
 func BenchmarkRowsL21000(b *testing.B)        { benchmarkRows(b, "l2", false) }
 func BenchmarkRowsJSD1000(b *testing.B)       { benchmarkRows(b, "jsd", false) }
+func BenchmarkRowsJSDFast1000(b *testing.B) {
+	// Via the same harness shape as the other fast kernels.
+	const dim, n = 26, 1000
+	rng := rand.New(rand.NewSource(1))
+	flat := randRows(rng, n, dim, 0)
+	q := make([]float64, dim)
+	copy(q, flat[:dim])
+	out := make([]float64, n)
+	table := NewLogRows(flat, dim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table.JSDRows(q, QueryNegEntropy(q), out)
+		benchSink += out[0]
+	}
+}
+
+func BenchmarkRowsBatchSymKL1000x8(b *testing.B)     { benchmarkRowsBatch(b, "symkl", 8, false) }
+func BenchmarkRowsBatchSymKLFast1000x8(b *testing.B) { benchmarkRowsBatch(b, "symkl", 8, true) }
+func BenchmarkRowsBatchJSDFast1000x8(b *testing.B)   { benchmarkRowsBatch(b, "jsd", 8, true) }
 
 func BenchmarkKernelKL(b *testing.B)        { benchmarkKernel(b, "kl") }
 func BenchmarkKernelSymKL(b *testing.B)     { benchmarkKernel(b, "symkl") }

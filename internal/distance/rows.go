@@ -89,39 +89,117 @@ func KLRows(q, rows []float64, dim int, out []float64) {
 
 // SymmetricKLRows is the exact row form of SymmetricKL:
 // out[i] = KL(q, row_i) + KL(row_i, q).
+//
+// The forward and reverse passes are fused into one sweep over the row
+// (half the memory traffic of the two-loop form). Fusing is bit-exact:
+// each direction keeps its own accumulator, so the addition sequence per
+// accumulator — and therefore every rounding step — is unchanged.
 func SymmetricKLRows(q, rows []float64, dim int, out []float64) {
 	checkRows(q, rows, dim, out)
 	for i := range out {
 		row := rows[i*dim : (i+1)*dim]
-		var fwd float64
+		var fwd, rev float64
 		for j, pj := range q {
-			if pj <= 0 {
-				continue
+			rj := row[j]
+			if pj > 0 {
+				qj := rj
+				if qj < eps {
+					qj = eps
+				}
+				fwd += pj * math.Log(pj/qj)
 			}
-			qj := row[j]
-			if qj < eps {
-				qj = eps
+			if rj > 0 {
+				qj := pj
+				if qj < eps {
+					qj = eps
+				}
+				rev += rj * math.Log(rj/qj)
 			}
-			fwd += pj * math.Log(pj/qj)
 		}
 		if fwd < 0 {
 			fwd = 0
-		}
-		var rev float64
-		for j, pj := range row {
-			if pj <= 0 {
-				continue
-			}
-			qj := q[j]
-			if qj < eps {
-				qj = eps
-			}
-			rev += pj * math.Log(pj/qj)
 		}
 		if rev < 0 {
 			rev = 0
 		}
 		out[i] = fwd + rev
+	}
+}
+
+// RowsBatchFunc scores a batch of queries against every row of a flat
+// matrix in one pass: qs is nq query vectors flattened row-major, and the
+// result is query-major, out[k*nrows+i] = d(q_k, row_i). Batched kernels
+// iterate row-outer/query-inner so each matrix row is loaded into cache
+// once per batch instead of once per query.
+type RowsBatchFunc func(qs, rows []float64, dim, nq int, out []float64)
+
+// RowsBatchOf returns the batched row kernel of d: bit-for-bit equal to
+// invoking RowsOf(d) per query. Distances without a specialised batch
+// kernel fall back to a per-query loop (correct, but without the
+// row-amortization).
+func RowsBatchOf(d Distance) RowsBatchFunc {
+	if d.RowsBatch != nil {
+		return d.RowsBatch
+	}
+	rows := RowsOf(d)
+	return func(qs, flat []float64, dim, nq int, out []float64) {
+		checkRowsBatch(qs, flat, dim, nq, out)
+		n := len(flat) / dim
+		for k := 0; k < nq; k++ {
+			rows(qs[k*dim:(k+1)*dim], flat, dim, out[k*n:(k+1)*n])
+		}
+	}
+}
+
+func checkRowsBatch(qs, rows []float64, dim, nq int, out []float64) {
+	if dim <= 0 || len(rows)%dim != 0 {
+		panic(fmt.Sprintf("distance: matrix length %d not a multiple of dim %d", len(rows), dim))
+	}
+	if len(qs) != nq*dim {
+		panic(fmt.Sprintf("distance: query batch length %d != %d queries × dim %d", len(qs), nq, dim))
+	}
+	if len(out) != nq*(len(rows)/dim) {
+		panic(fmt.Sprintf("distance: out length %d != %d queries × %d rows", len(out), nq, len(rows)/dim))
+	}
+}
+
+// SymmetricKLRowsBatch is the batched exact symkl kernel. Each matrix row
+// is swept once for the whole query batch; the per-(query, row) arithmetic
+// is identical to SymmetricKLRows, so the results are bit-for-bit equal to
+// the per-query kernel whatever the batch size.
+func SymmetricKLRowsBatch(qs, rows []float64, dim, nq int, out []float64) {
+	checkRowsBatch(qs, rows, dim, nq, out)
+	n := len(rows) / dim
+	for i := 0; i < n; i++ {
+		row := rows[i*dim : (i+1)*dim]
+		for k := 0; k < nq; k++ {
+			q := qs[k*dim : (k+1)*dim]
+			var fwd, rev float64
+			for j, pj := range q {
+				rj := row[j]
+				if pj > 0 {
+					qj := rj
+					if qj < eps {
+						qj = eps
+					}
+					fwd += pj * math.Log(pj/qj)
+				}
+				if rj > 0 {
+					qj := pj
+					if qj < eps {
+						qj = eps
+					}
+					rev += rj * math.Log(rj/qj)
+				}
+			}
+			if fwd < 0 {
+				fwd = 0
+			}
+			if rev < 0 {
+				rev = 0
+			}
+			out[k*n+i] = fwd + rev
+		}
 	}
 }
 
@@ -222,15 +300,22 @@ func ChiSquareRows(q, rows []float64, dim int, out []float64) {
 //
 //	KL(q ‖ r)     ≈ Σ_{q_i>0} q_i (Lq_i − Lr_i)
 //	symKL(q, r)   ≈ KL(q ‖ r) + KL(r ‖ q)
+//	JSD(q, r)     ≈ ½Σ q_i Lq_i + ½Σ r_i Lr_i − Σ m_i log m_i,  m = (q+r)/2
 //
-// The results differ from the scalar kernels in the last ulps (and for
-// components in (0, eps), which smoothed pmfs never produce), so LogRows
-// backs only the condensed — already approximate — scoring path; the
-// uncondensed path uses the exact kernels above.
+// The kl/symkl inner loops are branch-free multiply-adds over the log
+// tables (a zero component contributes an exact ±0, which IEEE addition
+// ignores, so eliminating the zero-skip branches changes no result bit);
+// the jsd form halves the logs per element by precomputing both negentropy
+// halves. The results differ from the scalar kernels in the last ulps (and
+// for components in (0, eps), which smoothed pmfs never produce), so
+// LogRows backs only opt-in paths: condensed reference sets — approximate
+// by construction — and models fitted with FastKernels; the default path
+// uses the exact kernels above.
 type LogRows struct {
-	dim  int
-	rows []float64 // the reference matrix, retained
-	logs []float64 // log(max(rows[i], eps)), elementwise
+	dim    int
+	rows   []float64 // the reference matrix, retained
+	logs   []float64 // log(max(rows[i], eps)), elementwise
+	negent []float64 // per row i: Σ_j row_ij · logs_ij (the jsd row-entropy half)
 }
 
 // NewLogRows builds the log table over a flat row-major matrix. The matrix
@@ -246,7 +331,16 @@ func NewLogRows(rows []float64, dim int) *LogRows {
 		}
 		logs[i] = math.Log(x)
 	}
-	return &LogRows{dim: dim, rows: rows, logs: logs}
+	n := len(rows) / dim
+	negent := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < dim; j++ {
+			s += rows[i*dim+j] * logs[i*dim+j]
+		}
+		negent[i] = s
+	}
+	return &LogRows{dim: dim, rows: rows, logs: logs, negent: negent}
 }
 
 // Len returns the number of rows in the table.
@@ -270,7 +364,10 @@ func QueryLogs(q, qlogs []float64) {
 }
 
 // KLRows writes out[i] ≈ KL(q ‖ row_i) using the precomputed logs. qlogs
-// must come from QueryLogs(q, ...).
+// must come from QueryLogs(q, ...). The inner loop is a branch-free
+// multiply-add: a zero q component contributes pj·diff = ±0, which leaves
+// every IEEE partial sum unchanged, so skipping the old pj > 0 test is
+// value-identical and lets the loop pipeline.
 func (t *LogRows) KLRows(q, qlogs, out []float64) {
 	checkRows(q, t.rows, t.dim, out)
 	dim := t.dim
@@ -279,9 +376,6 @@ func (t *LogRows) KLRows(q, qlogs, out []float64) {
 		logs := t.logs[base : base+dim]
 		var d float64
 		for j, pj := range q {
-			if pj <= 0 {
-				continue
-			}
 			d += pj * (qlogs[j] - logs[j])
 		}
 		if d < 0 {
@@ -293,7 +387,8 @@ func (t *LogRows) KLRows(q, qlogs, out []float64) {
 
 // SymKLRows writes out[i] ≈ symKL(q, row_i) using the precomputed logs;
 // both KL directions are clamped at zero separately, matching the scalar
-// kernel's convention. qlogs must come from QueryLogs(q, ...).
+// kernel's convention. qlogs must come from QueryLogs(q, ...). Branch-free
+// like KLRows: zero components add exact ±0 to either accumulator.
 func (t *LogRows) SymKLRows(q, qlogs, out []float64) {
 	checkRows(q, t.rows, t.dim, out)
 	dim := t.dim
@@ -303,14 +398,9 @@ func (t *LogRows) SymKLRows(q, qlogs, out []float64) {
 		logs := t.logs[base : base+dim]
 		var fwd, rev float64
 		for j, pj := range q {
-			rj := row[j]
 			diff := qlogs[j] - logs[j]
-			if pj > 0 {
-				fwd += pj * diff
-			}
-			if rj > 0 {
-				rev -= rj * diff
-			}
+			fwd += pj * diff
+			rev -= row[j] * diff
 		}
 		if fwd < 0 {
 			fwd = 0
@@ -322,10 +412,140 @@ func (t *LogRows) SymKLRows(q, qlogs, out []float64) {
 	}
 }
 
-// FastRowsFor reports whether the KL-family fast path applies to d and, if
-// so, which LogRows method drives it: "kl" and "symkl" benefit from
-// precomputed logs; every other catalogue distance either has no log in
-// its inner loop or (jsd) mixes query and row inside the logarithm.
+// QueryNegEntropy returns Σ_j q_j · log(max(q_j, eps)) — the per-query
+// negentropy half of the fast JSD decomposition, computed once per query
+// instead of once per row.
+func QueryNegEntropy(q []float64) float64 {
+	var s float64
+	for _, x := range q {
+		lx := x
+		if lx < eps {
+			lx = eps
+		}
+		s += x * math.Log(lx)
+	}
+	return s
+}
+
+// JSDRows writes out[i] ≈ JSD(q, row_i) via the entropy decomposition
+//
+//	JSD(p, r) = ½Σ p_j log p_j + ½Σ r_j log r_j − Σ m_j log m_j
+//
+// with m = (p+r)/2: the per-row and per-query negentropy halves come from
+// the precomputed tables, so only the mixture term costs a log per element
+// — half the logs of the exact kernel. qent must come from
+// QueryNegEntropy(q). Accurate to the last ulps on smoothed pmfs; an
+// identical query and row give an exact 0.
+func (t *LogRows) JSDRows(q []float64, qent float64, out []float64) {
+	checkRows(q, t.rows, t.dim, out)
+	dim := t.dim
+	for i := range out {
+		base := i * dim
+		row := t.rows[base : base+dim]
+		var ment float64
+		for j, pj := range q {
+			m := 0.5 * (pj + row[j])
+			lm := m
+			if lm < eps {
+				lm = eps
+			}
+			ment += m * math.Log(lm)
+		}
+		d := 0.5*qent + 0.5*t.negent[i] - ment
+		if d < 0 {
+			d = 0
+		}
+		out[i] = d
+	}
+}
+
+// KLRowsBatch is the batched form of KLRows: qs and qlogs are nq query
+// vectors flattened row-major, out is query-major (out[k*n+i] for query k
+// against row i). The matrix is swept row-outer so each row is touched
+// once per batch; per-(query, row) arithmetic is identical to KLRows, so
+// results are bit-for-bit equal to the per-query kernel.
+func (t *LogRows) KLRowsBatch(qs, qlogs []float64, nq int, out []float64) {
+	checkRowsBatch(qs, t.rows, t.dim, nq, out)
+	dim, n := t.dim, t.Len()
+	for i := 0; i < n; i++ {
+		logs := t.logs[i*dim : (i+1)*dim]
+		for k := 0; k < nq; k++ {
+			q := qs[k*dim : (k+1)*dim]
+			ql := qlogs[k*dim : (k+1)*dim]
+			var d float64
+			for j, pj := range q {
+				d += pj * (ql[j] - logs[j])
+			}
+			if d < 0 {
+				d = 0
+			}
+			out[k*n+i] = d
+		}
+	}
+}
+
+// SymKLRowsBatch is the batched form of SymKLRows; see KLRowsBatch for the
+// layout. Bit-for-bit equal to the per-query kernel.
+func (t *LogRows) SymKLRowsBatch(qs, qlogs []float64, nq int, out []float64) {
+	checkRowsBatch(qs, t.rows, t.dim, nq, out)
+	dim, n := t.dim, t.Len()
+	for i := 0; i < n; i++ {
+		row := t.rows[i*dim : (i+1)*dim]
+		logs := t.logs[i*dim : (i+1)*dim]
+		for k := 0; k < nq; k++ {
+			q := qs[k*dim : (k+1)*dim]
+			ql := qlogs[k*dim : (k+1)*dim]
+			var fwd, rev float64
+			for j, pj := range q {
+				diff := ql[j] - logs[j]
+				fwd += pj * diff
+				rev -= row[j] * diff
+			}
+			if fwd < 0 {
+				fwd = 0
+			}
+			if rev < 0 {
+				rev = 0
+			}
+			out[k*n+i] = fwd + rev
+		}
+	}
+}
+
+// JSDRowsBatch is the batched form of JSDRows; qents[k] must come from
+// QueryNegEntropy of query k. Bit-for-bit equal to the per-query kernel.
+func (t *LogRows) JSDRowsBatch(qs, qents []float64, nq int, out []float64) {
+	checkRowsBatch(qs, t.rows, t.dim, nq, out)
+	if len(qents) != nq {
+		panic(fmt.Sprintf("distance: %d query negentropies for %d queries", len(qents), nq))
+	}
+	dim, n := t.dim, t.Len()
+	for i := 0; i < n; i++ {
+		row := t.rows[i*dim : (i+1)*dim]
+		for k := 0; k < nq; k++ {
+			q := qs[k*dim : (k+1)*dim]
+			var ment float64
+			for j, pj := range q {
+				m := 0.5 * (pj + row[j])
+				lm := m
+				if lm < eps {
+					lm = eps
+				}
+				ment += m * math.Log(lm)
+			}
+			d := 0.5*qents[k] + 0.5*t.negent[i] - ment
+			if d < 0 {
+				d = 0
+			}
+			out[k*n+i] = d
+		}
+	}
+}
+
+// FastRowsFor reports whether the precomputed-log fast path applies to d:
+// "kl" and "symkl" drop every log from the inner loop, "jsd" halves them
+// via the entropy decomposition; every other catalogue distance has no log
+// to amortize.
 func FastRowsFor(name string) bool {
-	return name == "kl" || name == "symkl"
+	return name == "kl" || name == "symkl" || name == "jsd"
 }

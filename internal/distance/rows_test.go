@@ -123,10 +123,117 @@ func TestLogRowsNonNegativeOnDuplicates(t *testing.T) {
 
 func TestFastRowsFor(t *testing.T) {
 	for name, want := range map[string]bool{
-		"kl": true, "symkl": true, "jsd": false, "l2": false, "hellinger": false,
+		"kl": true, "symkl": true, "jsd": true, "jsdist": false, "l2": false, "hellinger": false,
 	} {
 		if got := FastRowsFor(name); got != want {
 			t.Fatalf("FastRowsFor(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestLogRowsJSDCloseToScalar checks the fast JSD entropy-decomposition
+// kernel against the scalar Func: not bit-exact by design (the
+// decomposition reassociates the sum), but within tight tolerance on
+// smoothed and on zero-bearing pmfs alike.
+func TestLogRowsJSDCloseToScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	const n, dim = 64, 26
+	for _, zeroFrac := range []float64{0, 0.3} {
+		rows := randRows(rng, n, dim, zeroFrac)
+		table := NewLogRows(rows, dim)
+		q := randRows(rng, 1, dim, zeroFrac)
+		out := make([]float64, n)
+		table.JSDRows(q, QueryNegEntropy(q), out)
+		for r := 0; r < n; r++ {
+			want := JensenShannon(q, rows[r*dim:(r+1)*dim])
+			if math.Abs(out[r]-want) > 1e-9*want+1e-12 {
+				t.Fatalf("fast jsd (zeroFrac %g) row %d: %v, scalar %v", zeroFrac, r, out[r], want)
+			}
+		}
+	}
+}
+
+// TestLogRowsJSDSelfIsZero: the decomposition cancels exactly for an
+// identical query and row — the clamp must not be doing the work.
+func TestLogRowsJSDSelfIsZero(t *testing.T) {
+	row := []float64{0.2, 0.3, 0.5}
+	table := NewLogRows(row, 3)
+	out := make([]float64, 1)
+	table.JSDRows(row, QueryNegEntropy(row), out)
+	if out[0] != 0 {
+		t.Fatalf("jsd(self) = %v, want 0", out[0])
+	}
+}
+
+// TestBatchKernelsBitEqualSingle checks the batch contract ScoreBatch
+// leans on: every batched kernel — the exact symkl kernel, the generic
+// fallback, and the three fast LogRows forms — produces bit-for-bit the
+// values of its per-query form.
+func TestBatchKernelsBitEqualSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, dim, nq = 64, 26, 7
+	for _, zeroFrac := range []float64{0, 0.3} {
+		rows := randRows(rng, n, dim, zeroFrac)
+		qs := randRows(rng, nq, dim, zeroFrac)
+
+		// Exact kernels, specialised and generic fallback.
+		for _, name := range Names() {
+			d := Must(name)
+			batch := RowsBatchOf(d)
+			got := make([]float64, nq*n)
+			batch(qs, rows, dim, nq, got)
+			want := make([]float64, n)
+			for k := 0; k < nq; k++ {
+				RowsOf(d)(qs[k*dim:(k+1)*dim], rows, dim, want)
+				for i := range want {
+					if got[k*n+i] != want[i] {
+						t.Fatalf("%s (zeroFrac %g): batch[%d,%d] = %v != single %v",
+							name, zeroFrac, k, i, got[k*n+i], want[i])
+					}
+				}
+			}
+		}
+
+		// Fast LogRows kernels.
+		table := NewLogRows(rows, dim)
+		qlogs := make([]float64, nq*dim)
+		QueryLogs(qs, qlogs)
+		qents := make([]float64, nq)
+		for k := 0; k < nq; k++ {
+			qents[k] = QueryNegEntropy(qs[k*dim : (k+1)*dim])
+		}
+		got := make([]float64, nq*n)
+		want := make([]float64, n)
+
+		table.SymKLRowsBatch(qs, qlogs, nq, got)
+		for k := 0; k < nq; k++ {
+			table.SymKLRows(qs[k*dim:(k+1)*dim], qlogs[k*dim:(k+1)*dim], want)
+			for i := range want {
+				if got[k*n+i] != want[i] {
+					t.Fatalf("fast symkl (zeroFrac %g): batch[%d,%d] = %v != single %v",
+						zeroFrac, k, i, got[k*n+i], want[i])
+				}
+			}
+		}
+		table.KLRowsBatch(qs, qlogs, nq, got)
+		for k := 0; k < nq; k++ {
+			table.KLRows(qs[k*dim:(k+1)*dim], qlogs[k*dim:(k+1)*dim], want)
+			for i := range want {
+				if got[k*n+i] != want[i] {
+					t.Fatalf("fast kl (zeroFrac %g): batch[%d,%d] = %v != single %v",
+						zeroFrac, k, i, got[k*n+i], want[i])
+				}
+			}
+		}
+		table.JSDRowsBatch(qs, qents, nq, got)
+		for k := 0; k < nq; k++ {
+			table.JSDRows(qs[k*dim:(k+1)*dim], qents[k], want)
+			for i := range want {
+				if got[k*n+i] != want[i] {
+					t.Fatalf("fast jsd (zeroFrac %g): batch[%d,%d] = %v != single %v",
+						zeroFrac, k, i, got[k*n+i], want[i])
+				}
+			}
 		}
 	}
 }

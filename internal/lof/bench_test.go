@@ -84,6 +84,40 @@ func BenchmarkScoreVPTreeHellinger1000(b *testing.B) {
 	benchmarkScore(b, 1000, distance.Must("hellinger"), FitOptions{UseVPTree: true, Seed: 1})
 }
 
+// benchmarkScoreBatch measures Scorer.ScoreBatch at batch size nq — the
+// serve path's whole-window drain. Per-op cost divided by nq against the
+// matching Score benchmark shows the matrix-sweep amortisation.
+func benchmarkScoreBatch(b *testing.B, n, nq int, opts FitOptions) {
+	const dim = 26
+	pts := benchPoints(n, dim, 1)
+	m, err := Fit(pts, 20, distance.Must("symkl"), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := benchPoints(nq, dim, 2)
+	out := make([]float64, nq)
+	sc := m.NewScorer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.ScoreBatch(queries, out)
+	}
+}
+
+func BenchmarkScoreBatchBruteSymKL1000x8(b *testing.B) {
+	benchmarkScoreBatch(b, 1000, 8, FitOptions{})
+}
+
+func BenchmarkScoreBatchFastSymKL1000x8(b *testing.B) {
+	benchmarkScoreBatch(b, 1000, 8, FitOptions{FastKernels: true})
+}
+
+// BenchmarkScoreFastSymKL1000 is the single-query form of the FastKernels
+// opt-in, for comparison with BenchmarkScoreBruteSymKL1000.
+func BenchmarkScoreFastSymKL1000(b *testing.B) {
+	benchmarkScore(b, 1000, distance.Must("symkl"), FitOptions{FastKernels: true})
+}
+
 // BenchmarkFitBruteSymKL1000 measures the learning step (pairwise kNN at
 // fit time), the other cost the ROADMAP perf item cares about.
 func BenchmarkFitBruteSymKL1000(b *testing.B) {

@@ -25,6 +25,11 @@ type Scratch struct {
 	heap  neighborHeap
 	out   []Neighbor
 	qlogs []float64
+	// Batch-scoring buffers: the flattened query block, the nq×n distance
+	// matrix, and the per-query negative entropies of the fast JSD path.
+	qflat  []float64
+	bdists []float64
+	qents  []float64
 }
 
 func (s *Scratch) floats(n int) []float64 {
@@ -58,6 +63,30 @@ func (s *Scratch) neighborBuf(n int) []Neighbor {
 	}
 	s.out = s.out[:n]
 	return s.out
+}
+
+func (s *Scratch) flatBuf(n int) []float64 {
+	if cap(s.qflat) < n {
+		s.qflat = make([]float64, n)
+	}
+	s.qflat = s.qflat[:n]
+	return s.qflat
+}
+
+func (s *Scratch) batchDists(n int) []float64 {
+	if cap(s.bdists) < n {
+		s.bdists = make([]float64, n)
+	}
+	s.bdists = s.bdists[:n]
+	return s.bdists
+}
+
+func (s *Scratch) entBuf(n int) []float64 {
+	if cap(s.qents) < n {
+		s.qents = make([]float64, n)
+	}
+	s.qents = s.qents[:n]
+	return s.qents
 }
 
 // Index answers k-nearest-neighbour queries over a fixed point set stored
@@ -150,12 +179,13 @@ func (h *neighborHeap) drainSorted(dst []Neighbor) []Neighbor {
 // dissimilarity (including the non-metric KL family), which makes it the
 // default index for pmf points.
 type BruteIndex struct {
-	flat []float64
-	dim  int
-	n    int
-	rows distance.RowsFunc
-	logs *distance.LogRows // non-nil switches to the fast KL-family path
-	name string
+	flat      []float64
+	dim       int
+	n         int
+	rows      distance.RowsFunc
+	rowsBatch distance.RowsBatchFunc
+	logs      *distance.LogRows // non-nil switches to the fast KL-family path
+	name      string
 }
 
 // NewBruteIndex builds a brute-force index over the flat row-major matrix
@@ -165,11 +195,12 @@ func NewBruteIndex(flat []float64, dim int, d distance.Distance) *BruteIndex {
 		panic(fmt.Sprintf("lof: matrix length %d not a multiple of dim %d", len(flat), dim))
 	}
 	return &BruteIndex{
-		flat: flat,
-		dim:  dim,
-		n:    len(flat) / dim,
-		rows: distance.RowsOf(d),
-		name: d.Name,
+		flat:      flat,
+		dim:       dim,
+		n:         len(flat) / dim,
+		rows:      distance.RowsOf(d),
+		rowsBatch: distance.RowsBatchOf(d),
+		name:      d.Name,
 	}
 }
 
@@ -191,20 +222,67 @@ func (b *BruteIndex) KNN(q []float64, k, skip int, s *Scratch) []Neighbor {
 		return nil
 	}
 	dists := s.floats(b.n)
+	b.fillDists(q, s, dists)
+	return selectK(dists, k, skip, s)
+}
+
+// fillDists writes the distance from q to every reference row into dists
+// (length b.n), through the fast log-table kernels when enabled.
+func (b *BruteIndex) fillDists(q []float64, s *Scratch, dists []float64) {
 	if b.logs != nil {
-		qlogs := s.logBuf(b.dim)
-		distance.QueryLogs(q, qlogs)
 		switch b.name {
 		case "symkl":
+			qlogs := s.logBuf(b.dim)
+			distance.QueryLogs(q, qlogs)
 			b.logs.SymKLRows(q, qlogs, dists)
 		case "kl":
+			qlogs := s.logBuf(b.dim)
+			distance.QueryLogs(q, qlogs)
 			b.logs.KLRows(q, qlogs, dists)
+		case "jsd":
+			b.logs.JSDRows(q, distance.QueryNegEntropy(q), dists)
 		default:
 			panic(fmt.Sprintf("lof: fast kernels enabled for unsupported distance %q", b.name))
 		}
-	} else {
-		b.rows(q, b.flat, b.dim, dists)
+		return
 	}
+	b.rows(q, b.flat, b.dim, dists)
+}
+
+// distsBatch computes the full nq×b.n distance matrix between the
+// flattened query block and the reference rows in one batched sweep, so
+// each matrix row is loaded once per batch instead of once per query.
+// Query k's distances land in out[k*b.n : (k+1)*b.n], bit-for-bit equal
+// to fillDists on that query alone.
+func (b *BruteIndex) distsBatch(qflat []float64, nq int, s *Scratch, out []float64) {
+	if b.logs != nil {
+		switch b.name {
+		case "symkl":
+			qlogs := s.logBuf(nq * b.dim)
+			distance.QueryLogs(qflat, qlogs)
+			b.logs.SymKLRowsBatch(qflat, qlogs, nq, out)
+		case "kl":
+			qlogs := s.logBuf(nq * b.dim)
+			distance.QueryLogs(qflat, qlogs)
+			b.logs.KLRowsBatch(qflat, qlogs, nq, out)
+		case "jsd":
+			qents := s.entBuf(nq)
+			for k := 0; k < nq; k++ {
+				qents[k] = distance.QueryNegEntropy(qflat[k*b.dim : (k+1)*b.dim])
+			}
+			b.logs.JSDRowsBatch(qflat, qents, nq, out)
+		default:
+			panic(fmt.Sprintf("lof: fast kernels enabled for unsupported distance %q", b.name))
+		}
+		return
+	}
+	b.rowsBatch(qflat, b.flat, b.dim, nq, out)
+}
+
+// selectK runs bounded-heap selection over a filled distance row,
+// returning the k nearest in ascending order (excluding index skip when
+// skip >= 0). The result is backed by s.
+func selectK(dists []float64, k, skip int, s *Scratch) []Neighbor {
 	h := s.resetHeap(k)
 	for i, d := range dists {
 		if i == skip {

@@ -1,0 +1,131 @@
+package lof
+
+import (
+	"math/rand"
+	"testing"
+
+	"enduratrace/internal/distance"
+)
+
+// TestScoreBatchMatchesScore: ScoreBatch must equal per-query Score
+// bit-for-bit on every index configuration — the exact brute path, the
+// opt-in fast-kernel paths (symkl, kl, jsd), the condensed model, and
+// the VP-tree fallback. Batching only reorders kernel loops; it must
+// never change a score.
+func TestScoreBatchMatchesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := pmfPoints(rng, 300, 8)
+	cases := []struct {
+		name string
+		dist string
+		opts FitOptions
+	}{
+		{"brute-exact-symkl", "symkl", FitOptions{}},
+		{"brute-exact-l2", "l2", FitOptions{}},
+		{"brute-fast-symkl", "symkl", FitOptions{FastKernels: true}},
+		{"brute-fast-kl", "kl", FitOptions{FastKernels: true}},
+		{"brute-fast-jsd", "jsd", FitOptions{FastKernels: true}},
+		{"brute-condensed", "symkl", FitOptions{CondenseTarget: 80, Seed: 1}},
+		{"vptree-fallback", "hellinger", FitOptions{UseVPTree: true, Seed: 1}},
+	}
+	queries := pmfPoints(rng, 17, 8) // odd size: exercises a non-full tail batch upstream
+	for _, tc := range cases {
+		m, err := Fit(pts, 10, distance.Must(tc.dist), tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single := m.NewScorer()
+		want := make([]float64, len(queries))
+		for i, q := range queries {
+			want[i] = single.Score(q)
+		}
+		batch := m.NewScorer()
+		got := make([]float64, len(queries))
+		batch.ScoreBatch(queries, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: query %d: ScoreBatch %v != Score %v", tc.name, i, got[i], want[i])
+			}
+		}
+		// A singleton batch takes the fallback path; it must agree too.
+		batch.ScoreBatch(queries[:1], got[:1])
+		if got[0] != want[0] {
+			t.Errorf("%s: singleton batch %v != Score %v", tc.name, got[0], want[0])
+		}
+	}
+}
+
+// TestScoreBatchZeroAlloc: after warmup, batched scoring must not
+// allocate — the serve scoring goroutine leans on this.
+func TestScoreBatchZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts := pmfPoints(rng, 300, 8)
+	queries := pmfPoints(rng, 8, 8)
+	out := make([]float64, len(queries))
+	for _, opts := range []FitOptions{{}, {FastKernels: true}} {
+		m, err := Fit(pts, 10, distance.Must("symkl"), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := m.NewScorer()
+		sc.ScoreBatch(queries, out) // warm the scratch
+		if allocs := testing.AllocsPerRun(100, func() { sc.ScoreBatch(queries, out) }); allocs != 0 {
+			t.Errorf("FastKernels=%v: ScoreBatch allocates %v/op, want 0", opts.FastKernels, allocs)
+		}
+	}
+}
+
+// TestScoreBatchPanicsOnBadShape: shape mismatches are programming
+// errors and must fail loudly, not silently truncate.
+func TestScoreBatchPanicsOnBadShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := pmfPoints(rng, 50, 8)
+	m, err := Fit(pts, 5, distance.Must("symkl"), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := m.NewScorer()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	qs := pmfPoints(rng, 3, 8)
+	mustPanic("out too short", func() { sc.ScoreBatch(qs, make([]float64, 2)) })
+	mustPanic("bad query dim", func() {
+		sc.ScoreBatch([][]float64{qs[0], {0.5, 0.5}, qs[2]}, make([]float64, 3))
+	})
+}
+
+// TestFastKernelsMatchExactClosely: the FastKernels opt-in must track
+// the exact model tightly — same anomaly verdicts, tiny score drift.
+func TestFastKernelsMatchExactClosely(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	pts := pmfPoints(rng, 400, 8)
+	exact, err := Fit(pts, 10, distance.Must("symkl"), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Fit(pts, 10, distance.Must("symkl"), FitOptions{FastKernels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, sf := exact.NewScorer(), fast.NewScorer()
+	for _, q := range pmfPoints(rng, 50, 8) {
+		a, b := se.Score(q), sf.Score(q)
+		diff := a - b
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1e-6*(1+a) {
+			t.Fatalf("fast kernels drifted: exact %v vs fast %v", a, b)
+		}
+	}
+	outlier := []float64{0.93, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01}
+	if a, b := se.Score(outlier), sf.Score(outlier); a < 2 || b < 2 {
+		t.Fatalf("outlier: exact %v vs fast %v, want both >> 1", a, b)
+	}
+}

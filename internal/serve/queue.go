@@ -51,9 +51,10 @@ func ParseBackpressure(s string) (Backpressure, error) {
 
 // eventQueue is the bounded handoff between a stream's ingest goroutine
 // (socket → decode) and its scoring goroutine (window → gate → LOF →
-// record). It implements trace.Reader on the consumer side; Next returns
-// io.EOF once the queue is closed and drained, so a core.Monitor.Run over
-// the queue terminates cleanly whatever ended ingestion.
+// record). It implements trace.BatchReader on the consumer side (so
+// core.Monitor.Run drains it in whole-batch passes); Next and ReadBatch
+// return io.EOF once the queue is closed and drained, so a run over the
+// queue terminates cleanly whatever ended ingestion.
 //
 // All four counters move under the queue mutex and are read together via
 // Counters(), so any observer sees a consistent snapshot obeying
@@ -92,14 +93,17 @@ type eventQueue struct {
 	lastPopNs  atomic.Int64
 
 	// Consumer-side state, owned by the scoring goroutine (the only
-	// caller of Next, takeArrivals and takeFlight): the enqueue times of
-	// events popped since the last window decision (drained into the E2E
-	// histogram by the decision callback), and the most recent
-	// flight-sampled event awaiting its window's decision.
+	// caller of Next, ReadBatch, takeArrivals and takeFlight): the enqueue
+	// times of events popped since the last window decision (drained into
+	// the E2E histogram by the decision callback), the most recent
+	// flight-sampled event awaiting its window's decision, and the scratch
+	// metadata slice ReadBatch copies into under the lock so the
+	// per-event observation work can happen after unlock.
 	pending     []int64
 	flightSlot  poppedMeta
 	hasFlight   bool
 	flightSkips int
+	popMetas    []evMeta
 }
 
 // evMeta is the per-event instrumentation carried through the ring.
@@ -184,6 +188,65 @@ func (q *eventQueue) PushTimed(ev trace.Event, enqNs, decodeNs int64, seq uint64
 	return true
 }
 
+// PushBatch enqueues evs under one mutex acquisition instead of one per
+// event, filling the metadata ring in the same critical section: event i
+// carries sequence firstSeq+i, the shared arrival timestamp enqNs (the
+// whole batch became visible at the same ReadBatch return) and the
+// per-event decode share decodeNsPerEv. Under Block the batch is admitted
+// in capacity-sized chunks, waking the consumer between chunks, so a
+// batch larger than the queue cannot deadlock; under DropOldest each
+// admitted event evicts the oldest exactly as Push would. Returns false
+// once the queue is closed — events admitted before the close stay
+// counted and consumable.
+func (q *eventQueue) PushBatch(evs []trace.Event, enqNs, decodeNsPerEv int64, firstSeq uint64, flightEvery uint64) bool {
+	for len(evs) > 0 {
+		q.mu.Lock()
+		if q.policy == Block {
+			for q.n == len(q.buf) && !q.closed {
+				q.notFull.Wait()
+			}
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return false
+		}
+		k := len(evs)
+		if q.policy == Block {
+			if free := len(q.buf) - q.n; k > free {
+				k = free
+			}
+		}
+		for i := 0; i < k; i++ {
+			if q.n == len(q.buf) { // DropOldest: make room
+				q.head = (q.head + 1) % len(q.buf)
+				q.n--
+				q.dropped++
+			}
+			j := (q.head + q.n) % len(q.buf)
+			q.buf[j] = evs[i]
+			if q.meta != nil {
+				seq := firstSeq + uint64(i)
+				q.meta[j] = evMeta{
+					enqNs:    enqNs,
+					decodeNs: decodeNsPerEv,
+					seq:      seq,
+					flight:   flightEvery > 0 && seq%flightEvery == 0,
+				}
+			}
+			q.n++
+			q.ingested++
+		}
+		if q.meta != nil {
+			q.lastPushNs.Store(enqNs)
+		}
+		q.mu.Unlock()
+		q.notEmpty.Signal()
+		evs = evs[k:]
+		firstSeq += uint64(k)
+	}
+	return true
+}
+
 // Close stops ingestion; queued events remain consumable (the drain).
 // Idempotent.
 func (q *eventQueue) Close() {
@@ -237,6 +300,66 @@ func (q *eventQueue) Next() (trace.Event, error) {
 		}
 	}
 	return ev, nil
+}
+
+// ReadBatch implements trace.BatchReader for the scoring side: it pops
+// every immediately available event (up to len(dst)) under one mutex
+// acquisition, blocking only when the queue is empty and open. Counter
+// discipline matches Next — scored moves inside the lock — while the
+// per-event observation work (QueueWait, pending arrivals, flight slot)
+// happens after unlock on metadata copied out under the lock.
+func (q *eventQueue) ReadBatch(dst []trace.Event) (int, error) {
+	q.mu.Lock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		q.mu.Unlock()
+		return 0, io.EOF
+	}
+	k := len(dst)
+	if k > q.n {
+		k = q.n
+	}
+	var metas []evMeta
+	if q.meta != nil {
+		if cap(q.popMetas) < k {
+			q.popMetas = make([]evMeta, k)
+		}
+		metas = q.popMetas[:k]
+	}
+	for i := 0; i < k; i++ {
+		dst[i] = q.buf[q.head]
+		q.buf[q.head] = trace.Event{} // drop payload reference
+		if metas != nil {
+			metas[i] = q.meta[q.head]
+		}
+		q.head = (q.head + 1) % len(q.buf)
+	}
+	q.n -= k
+	q.scored += int64(k)
+	q.mu.Unlock()
+	q.notFull.Signal()
+	if metas != nil {
+		now := obs.Now()
+		q.lastPopNs.Store(now)
+		for i := range metas {
+			m := metas[i]
+			wait := now - m.enqNs
+			q.pipe.QueueWait.ObserveNs(wait)
+			if len(q.pending) < pendingCap {
+				q.pending = append(q.pending, m.enqNs)
+			}
+			if m.flight {
+				if q.hasFlight {
+					q.flightSkips++ // previous sample never saw its decision
+				}
+				q.flightSlot = poppedMeta{evMeta: m, waitNs: wait}
+				q.hasFlight = true
+			}
+		}
+	}
+	return k, nil
 }
 
 // takeArrivals hands the scoring goroutine the enqueue times of every

@@ -36,6 +36,9 @@ func fixture(t testing.TB) (core.Config, *core.Learned) {
 		cfg.IncludeRate = true
 		cfg.Alpha = 2.5
 		cfg.GateThreshold = 0.1
+		// Serve the fixture the way production serving is meant to run:
+		// through the precomputed-log KL-family kernels.
+		cfg.FastKernels = true
 		sc := mediasim.DefaultConfig()
 		sc.Duration = 30 * time.Second
 		sc.Seed = 42

@@ -46,6 +46,18 @@ type Reader interface {
 	Next() (Event, error)
 }
 
+// BatchReader is a Reader that can also deliver events many at a time.
+// ReadBatch fills dst with as many immediately available events as fit
+// and returns the count; it blocks only when no event is available at
+// all. The contract mirrors io.Reader: n > 0 with a nil error even if
+// the stream has since ended or failed — the error surfaces on the next
+// call, so a batch consumer sees exactly the events a Next loop would.
+// Consumers own dst and the returned events.
+type BatchReader interface {
+	Reader
+	ReadBatch(dst []Event) (int, error)
+}
+
 // Writer consumes a stream of events.
 type Writer interface {
 	Write(Event) error
@@ -75,6 +87,16 @@ func (r *SliceReader) Next() (Event, error) {
 	ev := r.events[r.pos]
 	r.pos++
 	return ev, nil
+}
+
+// ReadBatch implements BatchReader.
+func (r *SliceReader) ReadBatch(dst []Event) (int, error) {
+	if r.pos >= len(r.events) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.events[r.pos:])
+	r.pos += n
+	return n, nil
 }
 
 // Reset rewinds the reader to the first event.

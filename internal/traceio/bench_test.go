@@ -1,0 +1,85 @@
+package traceio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"enduratrace/internal/trace"
+)
+
+// benchStream encodes n events (every fourth carrying a 32-byte payload,
+// roughly the mediasim mix) into one framed stream.
+func benchStream(b *testing.B, n int) []byte {
+	var buf bytes.Buffer
+	fw, err := NewFrameWriter(&buf, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 32)
+	ts := time.Duration(0)
+	for i := 0; i < n; i++ {
+		ts += 40 * time.Microsecond
+		ev := trace.Event{TS: ts, Type: trace.EventType(i % 25), Arg: uint64(i)}
+		if i%4 == 0 {
+			ev.Payload = payload
+		}
+		if err := fw.Write(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkFrameDecodeNext measures the per-event ingest decode path:
+// one op = decoding a 10k-event framed stream event by event.
+func BenchmarkFrameDecodeNext(b *testing.B) {
+	data := benchStream(b, 10_000)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr, err := NewFrameReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := fr.Next(); err != nil {
+				if err != io.EOF {
+					b.Fatal(err)
+				}
+				break
+			}
+		}
+		fr.Release()
+	}
+}
+
+// BenchmarkFrameDecodeBatch measures the batched ingest decode path over
+// the same stream, draining 512 events per ReadBatch.
+func BenchmarkFrameDecodeBatch(b *testing.B) {
+	data := benchStream(b, 10_000)
+	dst := make([]trace.Event, 512)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr, err := NewFrameReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := fr.ReadBatch(dst); err != nil {
+				if err != io.EOF {
+					b.Fatal(err)
+				}
+				break
+			}
+		}
+		fr.Release()
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"enduratrace/internal/trace"
@@ -187,9 +188,14 @@ func (fw *FrameWriter) Close() error {
 	return fw.w.Flush()
 }
 
-// FrameReader decodes a framed stream; it implements trace.Reader. Next
-// returns io.EOF only on a clean end-of-stream marker; a connection that
-// dies mid-stream yields io.ErrUnexpectedEOF.
+// FrameReader decodes a framed stream; it implements trace.Reader and
+// trace.BatchReader. Next returns io.EOF only on a clean end-of-stream
+// marker; a connection that dies mid-stream yields io.ErrUnexpectedEOF.
+//
+// Readers are pooled: NewFrameReader draws one from a shared pool so a
+// server accepting many connections reuses the 64 KB read buffer and the
+// frame buffer instead of re-allocating them per connection. Call Release
+// when done with a stream to return the buffers to the pool.
 type FrameReader struct {
 	r       *bufio.Reader
 	frame   bytes.Reader
@@ -201,37 +207,84 @@ type FrameReader struct {
 	err     error
 }
 
+// frameReaderPool recycles FrameReaders — and with them the bufio read
+// buffer and the grown frame buffer — across connections.
+var frameReaderPool = sync.Pool{
+	New: func() any {
+		return &FrameReader{r: bufio.NewReaderSize(nil, 1<<16)}
+	},
+}
+
 // NewFrameReader validates the header and returns the reader. Both header
 // versions are accepted: version 1 streams simply carry no model name.
 func NewFrameReader(r io.Reader) (*FrameReader, error) {
-	fr := &FrameReader{r: bufio.NewReaderSize(r, 1<<16)}
-	head := make([]byte, len(frameMagic))
-	if _, err := io.ReadFull(fr.r, head); err != nil {
-		return nil, fmt.Errorf("traceio: reading frame header: %w", err)
-	}
-	if string(head) != frameMagic {
-		return nil, ErrBadFrameMagic
-	}
-	v, err := binary.ReadUvarint(fr.r)
-	if err != nil {
-		return nil, fmt.Errorf("traceio: reading frame version: %w", unexpectedEOF(err))
-	}
-	if v < frameVersion1 || v > maxFrameVersion {
-		return nil, fmt.Errorf("traceio: unsupported framed stream version %d (supported: 1..%d)", v, maxFrameVersion)
-	}
-	fr.version = int(v)
-	if fr.name, err = fr.headerString("stream", maxStreamName); err != nil {
+	fr := frameReaderPool.Get().(*FrameReader)
+	fr.reset(r)
+	if err := fr.readHeader(); err != nil {
+		fr.Release()
 		return nil, err
-	}
-	if v >= frameVersion2 {
-		if fr.model, err = fr.headerString("model", maxModelName); err != nil {
-			return nil, err
-		}
 	}
 	return fr, nil
 }
 
-// headerString reads one length-prefixed header field.
+func (fr *FrameReader) reset(r io.Reader) {
+	fr.r.Reset(r)
+	fr.frame.Reset(nil)
+	fr.name, fr.model = "", ""
+	fr.version = 0
+	fr.last = 0
+	fr.err = nil
+}
+
+// Release returns the reader and its buffers to the shared pool; the
+// caller must not touch fr afterwards. Events previously returned stay
+// valid — payloads never alias the pooled buffers. Releasing is optional
+// (an abandoned reader is simply garbage collected), but servers should
+// release on every connection-teardown path.
+func (fr *FrameReader) Release() {
+	fr.reset(nil)
+	frameReaderPool.Put(fr)
+}
+
+func (fr *FrameReader) readHeader() error {
+	head := fr.growBuf(len(frameMagic))
+	if _, err := io.ReadFull(fr.r, head); err != nil {
+		return fmt.Errorf("traceio: reading frame header: %w", err)
+	}
+	if string(head) != frameMagic {
+		return ErrBadFrameMagic
+	}
+	v, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return fmt.Errorf("traceio: reading frame version: %w", unexpectedEOF(err))
+	}
+	if v < frameVersion1 || v > maxFrameVersion {
+		return fmt.Errorf("traceio: unsupported framed stream version %d (supported: 1..%d)", v, maxFrameVersion)
+	}
+	fr.version = int(v)
+	if fr.name, err = fr.headerString("stream", maxStreamName); err != nil {
+		return err
+	}
+	if v >= frameVersion2 {
+		if fr.model, err = fr.headerString("model", maxModelName); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// growBuf returns fr.buf resized to n bytes, growing its capacity only
+// when needed so pooled readers stop allocating once warm.
+func (fr *FrameReader) growBuf(n int) []byte {
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	return fr.buf
+}
+
+// headerString reads one length-prefixed header field through the reused
+// frame buffer; only the retained string itself allocates.
 func (fr *FrameReader) headerString(what string, max uint64) (string, error) {
 	n, err := binary.ReadUvarint(fr.r)
 	if err != nil {
@@ -243,7 +296,7 @@ func (fr *FrameReader) headerString(what string, max uint64) (string, error) {
 	if n == 0 {
 		return "", nil
 	}
-	b := make([]byte, n)
+	b := fr.growBuf(int(n))
 	if _, err := io.ReadFull(fr.r, b); err != nil {
 		return "", fmt.Errorf("traceio: reading %s name: %w", what, unexpectedEOF(err))
 	}
@@ -267,31 +320,110 @@ func (fr *FrameReader) Next() (trace.Event, error) {
 	if fr.err != nil {
 		return trace.Event{}, fr.err
 	}
-	for fr.frame.Len() == 0 {
-		flen, err := binary.ReadUvarint(fr.r)
-		if err != nil {
-			// EOF between frames without the end marker: truncated.
-			fr.err = fmt.Errorf("traceio: stream truncated mid-frame: %w", unexpectedEOF(err))
-			return trace.Event{}, fr.err
+	if fr.frame.Len() == 0 {
+		if err := fr.loadFrame(); err != nil {
+			return trace.Event{}, err
 		}
-		if flen == 0 {
-			fr.err = io.EOF
-			return trace.Event{}, io.EOF
-		}
-		if flen > maxFrameSize {
-			fr.err = fmt.Errorf("traceio: frame length %d exceeds limit", flen)
-			return trace.Event{}, fr.err
-		}
-		if cap(fr.buf) < int(flen) {
-			fr.buf = make([]byte, flen)
-		}
-		fr.buf = fr.buf[:flen]
-		if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
-			fr.err = fmt.Errorf("traceio: reading frame payload: %w", unexpectedEOF(err))
-			return trace.Event{}, fr.err
-		}
-		fr.frame.Reset(fr.buf)
 	}
+	return fr.decodeEvent(nil)
+}
+
+// ReadBatch implements trace.BatchReader: it decodes into dst every
+// event already buffered — blocking only when nothing is available at
+// all — so one syscall's worth of frames drains in one call. After the
+// first event, a further frame is consumed only when it is already fully
+// buffered, so a batch never stalls the caller waiting for a slow
+// sender. Payloads are carved out of a fresh per-call arena (one
+// allocation amortised across the batch, never reused), so the returned
+// events are caller-owned exactly like Next's. When an error (or clean
+// EOF) strikes after n > 0 events were decoded, ReadBatch returns
+// (n, nil) and surfaces the latched error on the next call, so the event
+// sequence a batch consumer sees is byte-identical to a Next loop's.
+func (fr *FrameReader) ReadBatch(dst []trace.Event) (int, error) {
+	if fr.err != nil {
+		return 0, fr.err
+	}
+	var arena []byte
+	n := 0
+	for n < len(dst) {
+		if fr.frame.Len() == 0 {
+			if n > 0 && !fr.frameAvailable() {
+				break
+			}
+			if err := fr.loadFrame(); err != nil {
+				if n > 0 {
+					return n, nil
+				}
+				return 0, err
+			}
+		}
+		ev, err := fr.decodeEvent(&arena)
+		if err != nil {
+			if n > 0 {
+				return n, nil
+			}
+			return 0, err
+		}
+		dst[n] = ev
+		n++
+	}
+	return n, nil
+}
+
+// frameAvailable reports whether the next frame (or the end-of-stream
+// marker) is already fully buffered, i.e. whether loadFrame cannot block.
+// It peeks only at bytes already buffered, never triggering a read.
+func (fr *FrameReader) frameAvailable() bool {
+	avail := fr.r.Buffered()
+	if avail == 0 {
+		return false
+	}
+	if avail > binary.MaxVarintLen64 {
+		avail = binary.MaxVarintLen64
+	}
+	head, _ := fr.r.Peek(avail)
+	flen, n := binary.Uvarint(head)
+	if n == 0 {
+		return false // length prefix not fully buffered
+	}
+	if n < 0 || flen == 0 || flen > maxFrameSize {
+		return true // EOS marker, or an error loadFrame should surface now
+	}
+	return fr.r.Buffered() >= n+int(flen)
+}
+
+// loadFrame reads the next frame into fr.frame, reusing the frame
+// buffer. The clean end-of-stream marker latches and returns io.EOF;
+// every other failure latches a descriptive error.
+func (fr *FrameReader) loadFrame() error {
+	flen, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		// EOF between frames without the end marker: truncated.
+		fr.err = fmt.Errorf("traceio: stream truncated mid-frame: %w", unexpectedEOF(err))
+		return fr.err
+	}
+	if flen == 0 {
+		fr.err = io.EOF
+		return io.EOF
+	}
+	if flen > maxFrameSize {
+		fr.err = fmt.Errorf("traceio: frame length %d exceeds limit", flen)
+		return fr.err
+	}
+	buf := fr.growBuf(int(flen))
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		fr.err = fmt.Errorf("traceio: reading frame payload: %w", unexpectedEOF(err))
+		return fr.err
+	}
+	fr.frame.Reset(buf)
+	return nil
+}
+
+// decodeEvent decodes one event from the current frame. A nil arena
+// allocates the payload individually (the Next path); otherwise the
+// payload is carved from *arena, which grows by replacement so earlier
+// carvings stay valid.
+func (fr *FrameReader) decodeEvent(arena *[]byte) (trace.Event, error) {
 	dts, err := binary.ReadUvarint(&fr.frame)
 	if err != nil {
 		return trace.Event{}, fr.fail("dts", err)
@@ -314,7 +446,22 @@ func (fr *FrameReader) Next() (trace.Event, error) {
 	}
 	var payload []byte
 	if plen > 0 {
-		payload = make([]byte, plen)
+		if arena == nil {
+			payload = make([]byte, plen)
+		} else {
+			a := *arena
+			if cap(a)-len(a) < int(plen) {
+				// Fresh backing array — previously carved payloads keep the
+				// old one, so they are never clobbered or retained together.
+				grown := 2*cap(a) + int(plen)
+				if grown < 1024 {
+					grown = 1024
+				}
+				a = make([]byte, 0, grown)
+			}
+			payload = a[len(a) : len(a)+int(plen)]
+			*arena = a[:len(a)+int(plen)]
+		}
 		if _, err := io.ReadFull(&fr.frame, payload); err != nil {
 			return trace.Event{}, fr.fail("payload", err)
 		}

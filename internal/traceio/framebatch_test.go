@@ -1,0 +1,271 @@
+package traceio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"enduratrace/internal/trace"
+)
+
+// encodeFramed encodes evs into a framed stream with small frames (many
+// frame boundaries) and, unless torn, the clean end-of-stream marker.
+func encodeFramed(t *testing.T, evs []trace.Event, model string, frameBytes int, torn bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw, err := NewFrameWriterModel(&buf, "s", model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.FrameBytes = frameBytes
+	for _, ev := range evs {
+		if err := fw.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if torn {
+		if err := fw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// readAllBatched drains fr through ReadBatch with the given batch size,
+// returning the events and the terminal error.
+func readAllBatched(fr *FrameReader, batch int) ([]trace.Event, error) {
+	var out []trace.Event
+	dst := make([]trace.Event, batch)
+	for {
+		n, err := fr.ReadBatch(dst)
+		out = append(out, dst[:n]...)
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+// TestReadBatchMatchesNext: for clean and torn streams, v1 and v2
+// headers, and assorted batch sizes, ReadBatch must deliver exactly the
+// event sequence (and terminal error) of a Next loop.
+func TestReadBatchMatchesNext(t *testing.T) {
+	evs := randomEvents(500, 21)
+	cases := []struct {
+		name  string
+		model string
+		torn  bool
+	}{
+		{"v1-clean", "", false},
+		{"v2-clean", "model-b", false},
+		{"v1-torn", "", true},
+	}
+	for _, tc := range cases {
+		data := encodeFramed(t, evs, tc.model, 256, tc.torn)
+
+		frNext, err := NewFrameReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []trace.Event
+		var wantErr error
+		for {
+			ev, err := frNext.Next()
+			if err != nil {
+				wantErr = err
+				break
+			}
+			want = append(want, ev)
+		}
+
+		for _, batch := range []int{1, 7, 64, 4096} {
+			frBatch, err := NewFrameReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotErr := readAllBatched(frBatch, batch)
+			if len(got) != len(want) {
+				t.Fatalf("%s batch=%d: %d events, want %d", tc.name, batch, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].TS != want[i].TS || got[i].Type != want[i].Type ||
+					got[i].Arg != want[i].Arg || !bytes.Equal(got[i].Payload, want[i].Payload) {
+					t.Fatalf("%s batch=%d: event %d mismatch: got %v want %v",
+						tc.name, batch, i, got[i], want[i])
+				}
+			}
+			if (gotErr == io.EOF) != (wantErr == io.EOF) || !errors.Is(gotErr, wantErr) && gotErr.Error() != wantErr.Error() {
+				t.Fatalf("%s batch=%d: terminal error %v, want %v", tc.name, batch, gotErr, wantErr)
+			}
+			// The error is latched: further calls keep returning it.
+			if _, err := frBatch.ReadBatch(make([]trace.Event, 4)); !errors.Is(err, gotErr) && err.Error() != gotErr.Error() {
+				t.Fatalf("%s batch=%d: post-terminal ReadBatch %v, want %v", tc.name, batch, err, gotErr)
+			}
+		}
+	}
+}
+
+// TestReadBatchTornMidFrame: a stream cut in the middle of a frame must
+// yield every event of the complete frames, then io.ErrUnexpectedEOF —
+// through ReadBatch just like through Next.
+func TestReadBatchTornMidFrame(t *testing.T) {
+	evs := randomEvents(200, 22)
+	data := encodeFramed(t, evs, "", 256, false)
+	cut := data[:len(data)-37] // chop inside the last frames
+
+	frNext, _ := NewFrameReader(bytes.NewReader(cut))
+	nNext := 0
+	var errNext error
+	for {
+		if _, err := frNext.Next(); err != nil {
+			errNext = err
+			break
+		}
+		nNext++
+	}
+	fr, err := NewFrameReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotErr := readAllBatched(fr, 16)
+	if len(got) != nNext {
+		t.Fatalf("batched decode of torn stream: %d events, Next loop got %d", len(got), nNext)
+	}
+	if !errors.Is(gotErr, io.ErrUnexpectedEOF) || !errors.Is(errNext, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn stream errors: batch %v, next %v, want io.ErrUnexpectedEOF", gotErr, errNext)
+	}
+}
+
+// TestReadBatchDoesNotBlockOnPartialStream: once one event is decoded,
+// ReadBatch must return rather than block waiting for frames a slow
+// sender has not written yet.
+func TestReadBatchDoesNotBlockOnPartialStream(t *testing.T) {
+	evs := randomEvents(40, 23)
+	pr, pw := io.Pipe()
+	defer pr.Close()
+
+	var first bytes.Buffer
+	fw, err := NewFrameWriter(&first, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs[:25] {
+		if err := fw.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	go pw.Write(first.Bytes()) // header + one frame; stream stays open
+
+	fr, err := NewFrameReader(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]trace.Event, 100)
+	n, err := fr.ReadBatch(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Fatalf("ReadBatch on the available frame returned %d events, want 25", n)
+	}
+
+	// The rest of the stream arrives; the next batch picks it up.
+	go func() {
+		// The delta clock continues across frames, so keep encoding through
+		// fw, retargeted at a fresh buffer.
+		var rest bytes.Buffer
+		fw.w.Reset(&rest)
+		for _, ev := range evs[25:] {
+			fw.Write(ev)
+		}
+		fw.Close()
+		pw.Write(rest.Bytes())
+		pw.Close()
+	}()
+	got, gotErr := readAllBatched(fr, 100)
+	if gotErr != io.EOF {
+		t.Fatalf("tail decode error %v, want io.EOF", gotErr)
+	}
+	if len(got) != 15 {
+		t.Fatalf("tail decode returned %d events, want 15", len(got))
+	}
+}
+
+// TestFrameReaderPoolReuse: Release/NewFrameReader cycles must hand back
+// correct, fully reset readers, and payloads returned before a Release
+// must stay intact afterwards (they never alias pooled buffers).
+func TestFrameReaderPoolReuse(t *testing.T) {
+	evs := randomEvents(100, 24)
+	data := encodeFramed(t, evs, "m1", 512, false)
+	var keep []trace.Event
+	for round := 0; round < 5; round++ {
+		fr, err := NewFrameReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.StreamName() != "s" || fr.ModelName() != "m1" || fr.Version() != 2 {
+			t.Fatalf("round %d: header %q/%q v%d, want s/m1 v2", round, fr.StreamName(), fr.ModelName(), fr.Version())
+		}
+		got, gotErr := readAllBatched(fr, 33)
+		if gotErr != io.EOF || len(got) != len(evs) {
+			t.Fatalf("round %d: %d events err %v", round, len(got), gotErr)
+		}
+		if round == 0 {
+			keep = got
+		}
+		fr.Release()
+	}
+	// Payloads from round 0 survived four pooled reuses of the reader.
+	for i, ev := range keep {
+		if !bytes.Equal(ev.Payload, evs[i].Payload) {
+			t.Fatalf("payload %d clobbered by pooled reuse", i)
+		}
+	}
+}
+
+// TestReadBatchZeroAllocSteadyState is the ingest-path allocation gate:
+// batched decode of payload-free events must not allocate at all once
+// the reader is warm.
+func TestReadBatchZeroAllocSteadyState(t *testing.T) {
+	const perBatch, runs = 256, 30
+	evs := make([]trace.Event, perBatch*(runs+4))
+	ts := time.Duration(0)
+	for i := range evs {
+		ts += time.Millisecond
+		evs[i] = trace.Event{TS: ts, Type: trace.EventType(i % 25), Arg: uint64(i)}
+	}
+	var buf bytes.Buffer
+	fw, err := NewFrameWriter(&buf, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if err := fw.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFrameReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]trace.Event, perBatch)
+	if _, err := fr.ReadBatch(dst); err != nil { // warm the frame buffer
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(runs, func() {
+		if _, err := fr.ReadBatch(dst); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("steady-state ReadBatch allocates %v/op, want 0", allocs)
+	}
+}
