@@ -36,13 +36,15 @@ bench:
 # Microbenchmarks for the monitoring hot path: LOF scoring (exact brute vs
 # condensed flat kernels vs VP-tree, single vs batched), the distance
 # row/gate kernels, frame decode (per-event vs batched), the monitor's
-# per-window cost, and the serve section (end-to-end loopback socket
-# throughput: frame codec → queue → monitor → sink). The before/after
-# pairs live side by side (ScoreBrute* vs ScoreCondensed*, RowsSymKL vs
-# RowsSymKLFast, FrameDecodeNext vs FrameDecodeBatch); the output is kept
-# in BENCH_micro.txt so CI can archive the perf trajectory and benchdiff
-# can gate regressions.
+# per-window cost, the serve section (end-to-end loopback socket
+# throughput: frame codec → queue → monitor → sink), and the alerting
+# pipeline (quiet/flapping Observe fast paths, full fire→resolve emission,
+# dedup hits, key encoding). The before/after pairs live side by side
+# (ScoreBrute* vs ScoreCondensed*, RowsSymKL vs RowsSymKLFast,
+# FrameDecodeNext vs FrameDecodeBatch); the output is kept in
+# BENCH_micro.txt so CI can archive the perf trajectory and benchdiff can
+# gate regressions.
 microbench:
 	$(GO) test -run '^$$' -bench . -benchtime 20x -benchmem \
 		./internal/lof ./internal/distance ./internal/core ./internal/serve \
-		./internal/traceio | tee BENCH_micro.txt
+		./internal/traceio ./internal/alert | tee BENCH_micro.txt

@@ -12,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"enduratrace/internal/alert"
 	"enduratrace/internal/anomalystore"
 	"enduratrace/internal/core"
 	"enduratrace/internal/eval"
@@ -32,6 +33,21 @@ func cmdServe(args []string) error {
 	anomDir := fs.String("anomaly-store", "", "persist every gate trip (context windows + scores) to a segmented store in this directory; query via GET /anomalies, re-score via 'enduratrace replay'")
 	anomCtx := fs.Int("anomaly-context", 0, "pre-trip context windows per stored incident (0 = default 2, negative = none)")
 	anomSegBytes := fs.Int64("anomaly-segment-bytes", 0, "anomaly store segment rotation size in bytes (0 = default 8 MiB)")
+	alertLog := fs.Bool("alert-log", false, "alerting: log firing/resolved notifications through the daemon logger")
+	alertWebhook := fs.String("alert-webhook", "", "alerting: POST each notification as JSON to this URL (bounded retries with backoff)")
+	alertExec := fs.String("alert-exec", "", "alerting: run this shell command per notification with its JSON on stdin")
+	alertMinTrips := fs.Int("alert-min-trips", 0, "alerting: consecutive anomalous windows before an incident fires (0 = default 3)")
+	alertClearAfter := fs.Duration("alert-clear-after", 0, "alerting: quiet time after the last trip before an incident resolves (0 = default 30s)")
+	alertTripOnGate := fs.Bool("alert-trip-on-gate", false, "alerting: count every gate trip toward firing (default: only anomalous windows)")
+	alertDedupTTL := fs.Duration("alert-dedup-ttl", 0, "alerting: suppress repeat notifications with the same content key for this long (0 = default 5m, negative = off)")
+	alertDedupQuantum := fs.Float64("alert-dedup-quantum", 0, "alerting: gate-distance quantization step for the dedup key (0 = default 0.01)")
+	alertRate := fs.Float64("alert-rate", 0, "alerting: global notification token-bucket refill per second (0 = unlimited)")
+	alertBurst := fs.Float64("alert-burst", 0, "alerting: global token-bucket burst (0 = rate)")
+	alertSinkRate := fs.Float64("alert-sink-rate", 0, "alerting: per-sink delivery token-bucket refill per second (0 = unlimited)")
+	alertSinkBurst := fs.Float64("alert-sink-burst", 0, "alerting: per-sink token-bucket burst (0 = rate)")
+	alertQueue := fs.Int("alert-queue", 0, "alerting: dispatch queue length; overflow is dropped and counted, never waited on (0 = default 256)")
+	alertTimeout := fs.Duration("alert-timeout", 0, "alerting: per-delivery timeout (0 = default 10s)")
+	selftestAlerts := fs.Bool("selftest-alerts", false, "alerting selftest: fake-clock flapping-stream choreography (exactly-once firing, balanced books, zero-alloc fast path), then exit")
 	queue := fs.Int("queue", 1024, "per-stream bounded event queue length")
 	bp := fs.String("backpressure", "block", "full-queue policy: block (TCP backpressure) or drop-oldest")
 	alpha := fs.Float64("alpha", 0, "override the model's LOF threshold (0 = keep; single-model and in-process selftest only)")
@@ -61,6 +77,14 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *selftestAlerts {
+		fmt.Fprintln(os.Stderr, "serve: alert selftest, fake-clock flapping-stream choreography")
+		if err := alert.FlappingSelftest(logger); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "serve: alert selftest OK: exactly-once firing/resolution, delivery books balanced, no-alert fast path allocation-free")
+		return nil
+	}
 	var sinks recorder.SinkFactory
 	if *recDir != "" {
 		if sinks, err = recorder.NewDirFactory(*recDir, *compress); err != nil {
@@ -80,6 +104,53 @@ func cmdServe(args []string) error {
 			}
 			fmt.Fprintf(os.Stderr, "serve: anomaly store %s: %d incidents (%d recovered from earlier runs), %d segments, %d bytes\n",
 				st.Dir, st.Incidents, st.Recovered, st.Segments, st.Bytes)
+		}()
+	}
+
+	var alertSinks []alert.Sink
+	if *alertLog {
+		alertSinks = append(alertSinks, alert.NewSlogSink(logger))
+	}
+	if *alertWebhook != "" {
+		alertSinks = append(alertSinks, alert.NewWebhookSink(*alertWebhook, alert.WebhookOptions{}))
+	}
+	if *alertExec != "" {
+		alertSinks = append(alertSinks, alert.NewExecSink(*alertExec))
+	}
+	var alerts *alert.Pipeline
+	if len(alertSinks) > 0 {
+		alerts = alert.NewPipeline(alert.Options{
+			MinTrips:        *alertMinTrips,
+			ClearAfter:      *alertClearAfter,
+			TripOnGate:      *alertTripOnGate,
+			DedupTTL:        *alertDedupTTL,
+			DedupQuantum:    *alertDedupQuantum,
+			GlobalRate:      *alertRate,
+			GlobalBurst:     *alertBurst,
+			SinkRate:        *alertSinkRate,
+			SinkBurst:       *alertSinkBurst,
+			QueueLen:        *alertQueue,
+			DeliveryTimeout: *alertTimeout,
+			Sinks:           alertSinks,
+		})
+		// Registered after the anomaly store's deferred close, so this
+		// runs first: queued notifications drain to the sinks while the
+		// store is still open.
+		defer func() {
+			if !alerts.Drain(10 * time.Second) {
+				fmt.Fprintln(os.Stderr, "serve: alert queue did not drain before close")
+			}
+			if cerr := alerts.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "serve: closing alert sinks: %v\n", cerr)
+			}
+			b := alerts.Books()
+			var delivered, errs int64
+			for _, sb := range b.Sinks {
+				delivered += sb.Delivered
+				errs += sb.Errors
+			}
+			fmt.Fprintf(os.Stderr, "serve: alerts: %d fired, %d resolved; %d delivered, %d deduped, %d rate-limited, %d dropped, %d errors\n",
+				b.Fired, b.Resolved, delivered, b.Deduped, b.RateLimited(), b.QueueDropped, errs)
 		}()
 	}
 
@@ -111,6 +182,7 @@ func cmdServe(args []string) error {
 			Backpressure: policy,
 			Sinks:        sinks,
 			Anomalies:    anomalies,
+			Alerts:       alerts,
 			Logger:       logger,
 		}
 		if models.Len() > 1 {
@@ -132,6 +204,7 @@ func cmdServe(args []string) error {
 		Sinks:          sinks,
 		Anomalies:      anomalies,
 		AnomalyContext: *anomCtx,
+		Alerts:         alerts,
 		Logger:         logger,
 		FlightEvery:    *flightEvery,
 		FlightCap:      *flightCap,
@@ -342,6 +415,16 @@ func serveSelftest(opts serve.SelftestOptions, jsonOut bool) error {
 	if rep.Reload != nil {
 		fmt.Fprintf(os.Stderr, "serve: selftest mid-run reload #%d OK (models [%s], default %q)\n",
 			rep.Reload.Generation, strings.Join(rep.Reload.Models, " "), rep.Reload.Default)
+	}
+	if b := rep.Alerts; b != nil {
+		var delivered, errs int64
+		for _, sb := range b.Sinks {
+			delivered += sb.Delivered
+			errs += sb.Errors
+		}
+		fmt.Fprintf(os.Stderr,
+			"serve: selftest alerts balanced: %d fired + %d resolved == %d delivered + %d deduped + %d rate-limited + %d dropped + %d errors; %d transitions persisted\n",
+			b.Fired, b.Resolved, delivered, b.Deduped, b.RateLimited(), b.QueueDropped, errs, rep.Stats.AlertTransitions)
 	}
 	if jsonOut {
 		return emitJSON(rep, "")

@@ -1,0 +1,434 @@
+package alert
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDedupSetTTL(t *testing.T) {
+	d := newDedupSet(time.Minute)
+	now := selftestEpoch.UnixNano()
+	if d.seen("k", now) {
+		t.Fatal("fresh key reported seen")
+	}
+	if !d.seen("k", now+int64(30*time.Second)) {
+		t.Fatal("repeat within TTL not deduped")
+	}
+	// A hit does not refresh: expiry counts from the first delivery.
+	if d.seen("k", now+int64(time.Minute)) {
+		t.Fatal("key still seen at TTL from first delivery")
+	}
+	if !d.seen("k", now+int64(90*time.Second)) {
+		t.Fatal("re-armed key not deduped")
+	}
+}
+
+func TestDedupSetGC(t *testing.T) {
+	d := newDedupSet(time.Minute)
+	now := selftestEpoch.UnixNano()
+	for i := 0; i < 100; i++ {
+		d.seen(strings.Repeat("k", i+1), now)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("len = %d, want 100", d.Len())
+	}
+	// Past the TTL, the next insert sweeps everything expired.
+	d.seen("fresh", now+int64(2*time.Minute))
+	if d.Len() != 1 {
+		t.Fatalf("len after GC = %d, want 1", d.Len())
+	}
+}
+
+func TestTokenBucketModes(t *testing.T) {
+	now := selftestEpoch.UnixNano()
+
+	t.Run("unlimited", func(t *testing.T) {
+		b := newTokenBucket(0, 0, now)
+		for i := 0; i < 1000; i++ {
+			if !b.take(now) {
+				t.Fatal("unlimited bucket refused a take")
+			}
+		}
+	})
+
+	t.Run("fixed budget never refills", func(t *testing.T) {
+		b := newTokenBucket(0, 3, now)
+		for i := 0; i < 3; i++ {
+			if !b.take(now) {
+				t.Fatalf("take %d refused within budget", i)
+			}
+		}
+		if b.take(now + int64(time.Hour)) {
+			t.Fatal("fixed budget refilled")
+		}
+	})
+
+	t.Run("classic refill", func(t *testing.T) {
+		b := newTokenBucket(2, 2, now) // 2/s, burst 2
+		if !b.take(now) || !b.take(now) {
+			t.Fatal("burst refused")
+		}
+		if b.take(now) {
+			t.Fatal("empty bucket granted a take")
+		}
+		if !b.take(now + int64(500*time.Millisecond)) {
+			t.Fatal("no refill after 500ms at 2/s")
+		}
+		// Refill caps at burst: after an hour only 2 tokens, not 7200.
+		later := now + int64(time.Hour)
+		if !b.take(later) || !b.take(later) {
+			t.Fatal("capped refill refused")
+		}
+		if b.take(later) {
+			t.Fatal("refill exceeded burst")
+		}
+	})
+
+	t.Run("burst defaults to rate", func(t *testing.T) {
+		b := newTokenBucket(5, 0, now)
+		for i := 0; i < 5; i++ {
+			if !b.take(now) {
+				t.Fatalf("take %d refused, want burst=rate=5", i)
+			}
+		}
+		if b.take(now) {
+			t.Fatal("6th take granted, want burst 5")
+		}
+	})
+}
+
+func TestQuantizeDist(t *testing.T) {
+	cases := []struct {
+		dist, quantum float64
+		want          int64
+	}{
+		{0, 0.01, 0},
+		{1.004, 0.01, 100},
+		{1.006, 0.01, 101},
+		{-1.004, 0.01, -100},
+		{math.NaN(), 0.01, math.MaxInt64},
+		{math.Inf(1), 0.01, math.MaxInt64 - 1},
+		{math.Inf(-1), 0.01, math.MinInt64 + 1},
+		{1e300, 0.01, math.MaxInt64 - 2},
+		{-1e300, 0.01, math.MinInt64 + 2},
+	}
+	for _, tc := range cases {
+		if got := QuantizeDist(tc.dist, tc.quantum); got != tc.want {
+			t.Errorf("QuantizeDist(%g, %g) = %d, want %d", tc.dist, tc.quantum, got, tc.want)
+		}
+	}
+	// Distances within one quantum share a bucket — the dedup property.
+	if QuantizeDist(1.112, 0.01) != QuantizeDist(1.108, 0.01) {
+		t.Error("near distances landed in different buckets")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	cases := []Key{
+		{Stream: "s", Model: "m", Kind: KindFiring, Bucket: 0},
+		{Stream: "", Model: "", Kind: KindResolved, Bucket: -1},
+		{Stream: "stream/with/slashes", Model: "model name", Kind: KindFiring, Bucket: math.MaxInt64},
+		{Stream: strings.Repeat("x", maxKeyNameLen), Model: "m", Kind: KindResolved, Bucket: math.MinInt64},
+		{Stream: "unicode-é世界", Model: "\x00\xff", Kind: KindFiring, Bucket: 42},
+	}
+	for _, k := range cases {
+		enc := EncodeKey(k)
+		got, err := DecodeKey(enc)
+		if err != nil {
+			t.Fatalf("DecodeKey(%q): %v", enc, err)
+		}
+		if got != k {
+			t.Fatalf("round trip: got %+v, want %+v", got, k)
+		}
+	}
+	// Distinct identities must never encode to the same key (the
+	// length-prefix property: "ab"+"c" vs "a"+"bc").
+	a := string(EncodeKey(Key{Stream: "ab", Model: "c", Kind: KindFiring}))
+	b := string(EncodeKey(Key{Stream: "a", Model: "bc", Kind: KindFiring}))
+	if a == b {
+		t.Fatal("distinct (stream, model) pairs collided")
+	}
+}
+
+func TestDecodeKeyRejects(t *testing.T) {
+	good := EncodeKey(Key{Stream: "s", Model: "m", Kind: KindFiring, Bucket: 7})
+	cases := map[string][]byte{
+		"empty":          nil,
+		"one byte":       {keyVersion},
+		"bad version":    append([]byte{99}, good[1:]...),
+		"bad kind":       append([]byte{keyVersion, 99}, good[2:]...),
+		"truncated name": good[:4],
+		"trailing bytes": append(append([]byte{}, good...), 0),
+		"oversized name": append([]byte{keyVersion, byte(KindFiring)}, 0xff, 0xff, 0xff, 0x7f),
+	}
+	for name, b := range cases {
+		if _, err := DecodeKey(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestEmitBuckets(t *testing.T) {
+	t.Run("dedup counts per model", func(t *testing.T) {
+		p, clk := newTestPipeline(t, Options{MinTrips: 1, ClearAfter: time.Minute, DedupTTL: time.Hour})
+		s := p.Register("s0", "m0")
+		obs := Observation{Anomalous: true, GateDist: 1.5, LOF: 2}
+		clk.advance(time.Second)
+		s.Observe(obs) // fires, delivered
+		clk.advance(time.Minute)
+		s.Observe(Observation{}) // resolves, delivered
+		clk.advance(time.Second)
+		s.Observe(obs) // re-fires, same key → deduped
+		s.Close()      // resolves again, same key → deduped
+		if !p.Drain(5 * time.Second) {
+			t.Fatal("queue did not drain")
+		}
+		b := p.Books()
+		if err := b.Balanced(); err != nil {
+			t.Fatal(err)
+		}
+		if b.Fired != 2 || b.Resolved != 2 || b.Deduped != 2 || b.Enqueued != 2 {
+			t.Fatalf("books = %+v, want fired 2 resolved 2 deduped 2 enqueued 2", b)
+		}
+		if len(b.Models) != 1 || b.Models[0].Deduped != 2 {
+			t.Fatalf("model books = %+v, want m0 deduped 2", b.Models)
+		}
+	})
+
+	t.Run("dedup disabled by negative TTL", func(t *testing.T) {
+		p, clk := newTestPipeline(t, Options{MinTrips: 1, ClearAfter: time.Minute, DedupTTL: -1})
+		s := p.Register("s0", "m0")
+		obs := Observation{Anomalous: true, GateDist: 1.5, LOF: 2}
+		for i := 0; i < 3; i++ {
+			clk.advance(time.Second)
+			s.Observe(obs)
+			clk.advance(time.Minute)
+			s.Observe(Observation{})
+		}
+		s.Close()
+		if !p.Drain(5 * time.Second) {
+			t.Fatal("queue did not drain")
+		}
+		b := p.Books()
+		if b.Deduped != 0 || b.Enqueued != 6 {
+			t.Fatalf("books = %+v, want deduped 0 enqueued 6", b)
+		}
+	})
+
+	t.Run("queue overflow drops and counts", func(t *testing.T) {
+		// A sink stuck in Deliver wedges the worker; the queue fills and
+		// further transitions drop without blocking Observe.
+		block := make(chan struct{})
+		stuck := &funcSink{
+			name: "stuck",
+			deliver: func(ctx context.Context, _ Notification) error {
+				select {
+				case <-block:
+				case <-ctx.Done():
+				}
+				return nil
+			},
+		}
+		clk := newFakeClock(selftestEpoch)
+		p := NewPipeline(Options{
+			MinTrips: 1, ClearAfter: time.Minute, DedupTTL: -1,
+			QueueLen: 2, DeliveryTimeout: time.Hour,
+			Sinks: []Sink{stuck}, Clock: clk.now,
+		})
+		s := p.Register("s0", "m0")
+		// First transition may be in-flight with the worker; the queue
+		// holds 2 more; everything past 3 must drop.
+		const transitions = 10
+		for i := 0; i < transitions/2; i++ {
+			clk.advance(time.Second)
+			s.Observe(Observation{Anomalous: true, GateDist: float64(i), LOF: 2})
+			clk.advance(time.Minute)
+			s.Observe(Observation{})
+		}
+		// Drops are counted synchronously in Observe, so the books are
+		// already final for the pre-queue buckets.
+		b := p.Books()
+		if b.QueueDropped < transitions-4 {
+			t.Fatalf("queue dropped %d, want >= %d", b.QueueDropped, transitions-4)
+		}
+		if b.QueueDropped+b.Enqueued != transitions {
+			t.Fatalf("dropped %d + enqueued %d != %d transitions", b.QueueDropped, b.Enqueued, transitions)
+		}
+		close(block)
+		s.Close()
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Books().Balanced(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// funcSink adapts closures to the Sink interface for tests.
+type funcSink struct {
+	name    string
+	deliver func(context.Context, Notification) error
+	closeFn func() error
+}
+
+func (f *funcSink) Name() string { return f.name }
+func (f *funcSink) Deliver(ctx context.Context, n Notification) error {
+	if f.deliver == nil {
+		return nil
+	}
+	return f.deliver(ctx, n)
+}
+func (f *funcSink) Close() error {
+	if f.closeFn == nil {
+		return nil
+	}
+	return f.closeFn()
+}
+
+func TestSinkErrorsCountAndDoNotBlock(t *testing.T) {
+	clk := newFakeClock(selftestEpoch)
+	failing := &funcSink{
+		name:    "failing",
+		deliver: func(context.Context, Notification) error { return context.DeadlineExceeded },
+	}
+	p := NewPipeline(Options{
+		MinTrips: 1, ClearAfter: time.Minute, DedupTTL: -1,
+		Sinks: []Sink{failing}, Clock: clk.now,
+	})
+	s := p.Register("s0", "m0")
+	for i := 0; i < 3; i++ {
+		clk.advance(time.Second)
+		s.Observe(Observation{Anomalous: true, GateDist: float64(i), LOF: 2})
+		clk.advance(time.Minute)
+		s.Observe(Observation{})
+	}
+	s.Close()
+	if !p.Drain(5 * time.Second) {
+		t.Fatal("queue did not drain")
+	}
+	b := p.Books()
+	if err := b.Balanced(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Sinks) != 1 || b.Sinks[0].Errors != 6 || b.Sinks[0].Delivered != 0 {
+		t.Fatalf("sink books = %+v, want 6 errors 0 delivered", b.Sinks)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseReturnsFirstSinkError(t *testing.T) {
+	clk := newFakeClock(selftestEpoch)
+	boom := &funcSink{name: "boom", closeFn: func() error { return context.Canceled }}
+	p := NewPipeline(Options{Sinks: []Sink{boom}, Clock: clk.now})
+	if err := p.Close(); err != context.Canceled {
+		t.Fatalf("close = %v, want %v", err, context.Canceled)
+	}
+	// Idempotent: the same error again, sinks not re-closed.
+	if err := p.Close(); err != context.Canceled {
+		t.Fatalf("second close = %v, want %v", err, context.Canceled)
+	}
+}
+
+func TestSnapshotRecentRingWraps(t *testing.T) {
+	p, clk := newTestPipeline(t, Options{MinTrips: 1, ClearAfter: time.Minute, DedupTTL: -1, RecentCap: 4})
+	s := p.Register("s0", "m0")
+	for i := 0; i < 4; i++ { // 8 transitions through a 4-slot ring
+		clk.advance(time.Second)
+		s.Observe(Observation{Anomalous: true, GateDist: float64(i), LOF: 2, WindowIndex: 2 * i})
+		clk.advance(time.Minute)
+		s.Observe(Observation{WindowIndex: 2*i + 1})
+	}
+	s.Close()
+	recent := p.Snapshot().Recent
+	// Both transitions of an incident carry the arming window's index, so
+	// the ring's last four entries are incidents 2 and 3, oldest first.
+	want := []struct {
+		kind Kind
+		idx  int
+	}{{KindFiring, 4}, {KindResolved, 4}, {KindFiring, 6}, {KindResolved, 6}}
+	if len(recent) != len(want) {
+		t.Fatalf("recent holds %d, want %d", len(recent), len(want))
+	}
+	for i, w := range want {
+		if recent[i].Kind != w.kind || recent[i].WindowIndex != w.idx {
+			t.Fatalf("recent[%d] = %v window %d, want %v window %d",
+				i, recent[i].Kind, recent[i].WindowIndex, w.kind, w.idx)
+		}
+	}
+}
+
+func TestSlogSinkDelivers(t *testing.T) {
+	var buf strings.Builder
+	sink := NewSlogSink(slog.New(slog.NewTextHandler(&buf, nil)))
+	n := Notification{Kind: KindFiring, Stream: "s0", Model: "m0", GateDist: 2.5, LOF: 3, Trips: 3}
+	if err := sink.Deliver(context.Background(), n); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "alert firing") || !strings.Contains(buf.String(), "s0") {
+		t.Fatalf("log output %q missing alert line", buf.String())
+	}
+}
+
+func TestExecSinkRuns(t *testing.T) {
+	sink := NewExecSink("grep -q '\"stream\":\"s0\"'")
+	n := Notification{Kind: KindFiring, Stream: "s0", Model: "m0"}
+	if err := sink.Deliver(context.Background(), n); err != nil {
+		t.Fatalf("exec sink with matching stdin: %v", err)
+	}
+	fail := NewExecSink("grep -q no-such-stream")
+	if err := fail.Deliver(context.Background(), n); err == nil {
+		t.Fatal("exec sink swallowed a failing command")
+	}
+}
+
+func TestFlappingSelftest(t *testing.T) {
+	if err := FlappingSelftest(slog.New(slog.DiscardHandler)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNotificationMarshalNonFinite: gate distances are legitimately +Inf
+// (disjoint distributions), but encoding/json refuses non-finite floats —
+// the custom marshaler must map them to null instead of erroring out the
+// whole payload.
+func TestNotificationMarshalNonFinite(t *testing.T) {
+	n := Notification{
+		Kind:     KindFiring,
+		Stream:   "s",
+		Model:    "m",
+		GateDist: math.Inf(1),
+		LOF:      math.NaN(),
+		Trips:    3,
+	}
+	b, err := json.Marshal(n)
+	if err != nil {
+		t.Fatalf("non-finite notification failed to marshal: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("marshaled notification is not valid JSON: %v\n%s", err, b)
+	}
+	if m["gate_dist"] != nil || m["lof"] != nil {
+		t.Fatalf("non-finite scores not null: gate_dist=%v lof=%v", m["gate_dist"], m["lof"])
+	}
+	// Finite values survive untouched through the custom marshaler.
+	n.GateDist, n.LOF = 1.5, 3.25
+	b, err = json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["gate_dist"] != 1.5 || m["lof"] != 3.25 || m["kind"] != "firing" || m["trips"] != 3.0 {
+		t.Fatalf("finite notification fields mangled: %v", m)
+	}
+}

@@ -1,0 +1,126 @@
+package alert
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sinkEntry is one sink plus its delivery-side books.
+type sinkEntry struct {
+	sink        Sink
+	bucket      *tokenBucket
+	delivered   atomic.Int64
+	rateLimited atomic.Int64
+	errors      atomic.Int64
+}
+
+// dispatcher decouples the scoring goroutines from sink I/O: transitions
+// land in a bounded channel (enqueue never blocks — a full queue is the
+// caller's drop signal) and a single worker goroutine delivers them to
+// every sink in order. Close is exactly-once: the queue closes under the
+// same lock enqueue holds (no send-on-closed race), the worker drains
+// everything already queued, and only then do the sinks close.
+type dispatcher struct {
+	ch        chan Notification
+	sinks     []*sinkEntry
+	timeout   time.Duration
+	clock     func() time.Time
+	processed atomic.Int64 // notifications fully handled by the worker
+	depth     atomic.Int64 // notifications queued or in delivery
+
+	mu          sync.Mutex
+	closed      bool
+	sinksClosed bool
+	closeErr    error
+	done        chan struct{}
+}
+
+func newDispatcher(queueLen int, sinks []Sink, sinkRate, sinkBurst float64,
+	timeout time.Duration, clock func() time.Time) *dispatcher {
+	d := &dispatcher{
+		ch:      make(chan Notification, queueLen),
+		timeout: timeout,
+		clock:   clock,
+		done:    make(chan struct{}),
+	}
+	nowNs := clock().UnixNano()
+	for _, s := range sinks {
+		d.sinks = append(d.sinks, &sinkEntry{
+			sink:   s,
+			bucket: newTokenBucket(sinkRate, sinkBurst, nowNs),
+		})
+	}
+	go d.run()
+	return d
+}
+
+// enqueue offers one notification; false means the queue is full or the
+// dispatcher is closed (the caller counts the drop). Never blocks.
+func (d *dispatcher) enqueue(n Notification) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false
+	}
+	select {
+	case d.ch <- n:
+		d.depth.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+func (d *dispatcher) run() {
+	defer close(d.done)
+	for n := range d.ch {
+		d.deliver(n)
+		d.depth.Add(-1)
+		d.processed.Add(1)
+	}
+}
+
+func (d *dispatcher) deliver(n Notification) {
+	nowNs := d.clock().UnixNano()
+	for _, e := range d.sinks {
+		if !e.bucket.take(nowNs) {
+			e.rateLimited.Add(1)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), d.timeout)
+		err := e.sink.Deliver(ctx, n)
+		cancel()
+		if err != nil {
+			e.errors.Add(1)
+		} else {
+			e.delivered.Add(1)
+		}
+	}
+}
+
+// Close shuts the dispatcher down exactly once: no further enqueues are
+// admitted, the worker drains the already-queued notifications, then the
+// sinks close. Safe to call concurrently and repeatedly; every call
+// returns the same first sink-close error.
+func (d *dispatcher) Close() error {
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		close(d.ch)
+	}
+	d.mu.Unlock()
+	<-d.done // wait for the drain — every caller returns after it completes
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.sinksClosed {
+		d.sinksClosed = true
+		for _, e := range d.sinks {
+			if err := e.sink.Close(); err != nil && d.closeErr == nil {
+				d.closeErr = err
+			}
+		}
+	}
+	return d.closeErr
+}

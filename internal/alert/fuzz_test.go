@@ -1,0 +1,60 @@
+package alert
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzAlertKey hammers the dedup-key codec from both directions:
+// arbitrary bytes must decode to an error or to a key that re-encodes to
+// the identical bytes (no two byte strings alias one identity), and
+// never panic.
+func FuzzAlertKey(f *testing.F) {
+	// Well-formed seeds spanning the interesting shapes.
+	seeds := []Key{
+		{Stream: "s0", Model: "m0", Kind: KindFiring, Bucket: 0},
+		{Stream: "", Model: "", Kind: KindResolved, Bucket: -1},
+		{Stream: "flap-0", Model: "selftest", Kind: KindFiring, Bucket: 100},
+		{Stream: "stream/with/slashes", Model: "model name", Kind: KindResolved, Bucket: math.MaxInt64},
+		{Stream: "é世界", Model: "\x00\xff", Kind: KindFiring, Bucket: math.MinInt64},
+	}
+	for _, k := range seeds {
+		f.Add(EncodeKey(k))
+	}
+	// Malformed seeds: truncations, bad version/kind, trailing garbage,
+	// oversized length prefixes.
+	f.Add([]byte{})
+	f.Add([]byte{keyVersion})
+	f.Add([]byte{keyVersion, 0})
+	f.Add([]byte{99, byte(KindFiring), 0, 0, 0})
+	f.Add([]byte{keyVersion, byte(KindFiring), 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add(append(EncodeKey(seeds[0]), 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := DecodeKey(data)
+		if err != nil {
+			return // rejection is a fine outcome; panicking is not
+		}
+		if len(k.Stream) > maxKeyNameLen || len(k.Model) > maxKeyNameLen {
+			t.Fatalf("decode accepted oversized names (%d/%d)", len(k.Stream), len(k.Model))
+		}
+		if k.Kind != KindFiring && k.Kind != KindResolved {
+			t.Fatalf("decode accepted kind %d", k.Kind)
+		}
+		// Canonical codec: a successful decode re-encodes byte-identically,
+		// so no two distinct byte strings can share a decoded identity.
+		re := EncodeKey(k)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode mismatch:\n in  %q\n out %q (key %+v)", data, re, k)
+		}
+		// And the identity round-trips once more.
+		k2, err := DecodeKey(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if k2 != k {
+			t.Fatalf("round trip drifted: %+v vs %+v", k, k2)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package alert
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The dedup key is a compact binary encoding of (stream, model, kind,
+// quantized gate distance). It is the map key of the TTL'd seen-set, and
+// — because a corrupt or adversarial stream name must never let two
+// distinct identities collide — the encoding is length-prefixed and
+// round-trips exactly (FuzzAlertKey hammers both directions).
+
+// keyVersion is the encoding version byte leading every key.
+const keyVersion = 1
+
+// maxKeyNameLen bounds the stream/model fields when decoding, mirroring
+// the anomaly store's name bound.
+const maxKeyNameLen = 4096
+
+// Key is the decoded form of a dedup key.
+type Key struct {
+	Stream string
+	Model  string
+	Kind   Kind
+	Bucket int64 // quantized gate distance (see QuantizeDist)
+}
+
+// EncodeKey serialises a key: version byte, kind byte, length-prefixed
+// stream and model, zigzag-varint bucket.
+func EncodeKey(k Key) []byte {
+	buf := make([]byte, 0, 2+2*binary.MaxVarintLen64+len(k.Stream)+len(k.Model)+binary.MaxVarintLen64)
+	buf = append(buf, keyVersion, byte(k.Kind))
+	buf = binary.AppendUvarint(buf, uint64(len(k.Stream)))
+	buf = append(buf, k.Stream...)
+	buf = binary.AppendUvarint(buf, uint64(len(k.Model)))
+	buf = append(buf, k.Model...)
+	buf = binary.AppendVarint(buf, k.Bucket)
+	return buf
+}
+
+// DecodeKey parses an encoded key. Arbitrary input must yield an error,
+// never a panic — the fuzz target asserts exactly that, plus that every
+// successful decode re-encodes to the identical bytes.
+func DecodeKey(b []byte) (Key, error) {
+	var k Key
+	if len(b) < 2 {
+		return k, fmt.Errorf("alert: key too short (%d bytes)", len(b))
+	}
+	if b[0] != keyVersion {
+		return k, fmt.Errorf("alert: key version %d, want %d", b[0], keyVersion)
+	}
+	k.Kind = Kind(b[1])
+	if k.Kind != KindFiring && k.Kind != KindResolved {
+		return k, fmt.Errorf("alert: key kind %d unknown", b[1])
+	}
+	rest := b[2:]
+	name := func(what string) (string, error) {
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return "", fmt.Errorf("alert: key %s length: truncated", what)
+		}
+		if sz != uvarintLen(n) {
+			return "", fmt.Errorf("alert: key %s length: non-minimal varint", what)
+		}
+		rest = rest[sz:]
+		if n > maxKeyNameLen || n > uint64(len(rest)) {
+			return "", fmt.Errorf("alert: key %s length %d exceeds remaining %d", what, n, len(rest))
+		}
+		s := string(rest[:n])
+		rest = rest[n:]
+		return s, nil
+	}
+	var err error
+	if k.Stream, err = name("stream"); err != nil {
+		return Key{}, err
+	}
+	if k.Model, err = name("model"); err != nil {
+		return Key{}, err
+	}
+	bucket, sz := binary.Varint(rest)
+	if sz <= 0 {
+		return Key{}, fmt.Errorf("alert: key bucket: truncated")
+	}
+	// Zigzag first, then the same minimality rule: the encoding is
+	// canonical, so every identity has exactly one byte representation.
+	if sz != uvarintLen(uint64(bucket)<<1^uint64(bucket>>63)) {
+		return Key{}, fmt.Errorf("alert: key bucket: non-minimal varint")
+	}
+	if len(rest[sz:]) != 0 {
+		return Key{}, fmt.Errorf("alert: key has %d trailing bytes", len(rest[sz:]))
+	}
+	k.Bucket = bucket
+	return k, nil
+}
+
+// uvarintLen is the minimal encoded size of v (decode-side canonicality
+// check: AppendUvarint always emits exactly this many bytes).
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// dedupSet is the TTL'd seen-set behind content dedup. Expiry is lazy:
+// a hit past its deadline reads as unseen and re-arms, and a full sweep
+// runs at most once per TTL so inserts stay O(1) amortised.
+type dedupSet struct {
+	mu     sync.Mutex
+	ttl    int64
+	seenAt map[string]int64 // key -> expiry ns
+	lastGC int64
+}
+
+func newDedupSet(ttl time.Duration) *dedupSet {
+	return &dedupSet{ttl: int64(ttl), seenAt: make(map[string]int64)}
+}
+
+// seen reports whether key was marked within the TTL, marking it either
+// way (a miss arms the key; a hit refreshes nothing, so a steady repeat
+// dedups until the TTL from its first delivery expires).
+func (d *dedupSet) seen(key string, now int64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if now-d.lastGC >= d.ttl {
+		d.lastGC = now
+		for k, exp := range d.seenAt {
+			if now >= exp {
+				delete(d.seenAt, k)
+			}
+		}
+	}
+	if exp, ok := d.seenAt[key]; ok && now < exp {
+		return true
+	}
+	d.seenAt[key] = now + d.ttl
+	return false
+}
+
+// Len reports the live entry count (tests only).
+func (d *dedupSet) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.seenAt)
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package alert
+
+// raceEnabled reports whether the race detector is compiled in; the
+// selftest's allocation assertion is skipped under instrumentation.
+const raceEnabled = false

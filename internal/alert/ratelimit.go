@@ -1,0 +1,54 @@
+package alert
+
+import "sync"
+
+// tokenBucket is the delivery rate limiter. Three modes, picked by the
+// construction parameters:
+//
+//   - rate > 0: classic token bucket — refills rate tokens/s up to burst
+//     (burst <= 0 defaults to rate, a one-second window).
+//   - rate == 0, burst > 0: fixed budget — burst tokens, never refilled.
+//     The deterministic mode the fake-clock selftest uses.
+//   - rate == 0, burst <= 0: unlimited (take always succeeds).
+//
+// Time is the pipeline clock in nanoseconds, so fake clocks drive refill
+// exactly.
+type tokenBucket struct {
+	mu        sync.Mutex
+	rate      float64 // tokens per second
+	burst     float64
+	tokens    float64
+	lastNs    int64
+	unlimited bool
+}
+
+func newTokenBucket(rate, burst float64, nowNs int64) *tokenBucket {
+	if rate <= 0 && burst <= 0 {
+		return &tokenBucket{unlimited: true}
+	}
+	if rate > 0 && burst <= 0 {
+		burst = rate
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, lastNs: nowNs}
+}
+
+// take consumes one token if available.
+func (b *tokenBucket) take(nowNs int64) bool {
+	if b.unlimited {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate > 0 && nowNs > b.lastNs {
+		b.tokens += float64(nowNs-b.lastNs) / 1e9 * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.lastNs = nowNs
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,405 @@
+package alert
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlappingSelftest is the alerting pipeline's end-to-end proof: a
+// fake-clock choreographed set of flapping streams driving every
+// state-machine edge, with exactly-once and books-balance assertions at
+// each step. It runs in three acts, each against a fresh pipeline so the
+// expected counts are independent:
+//
+//  1. Hysteresis + dedup: per stream — MinTrips-1 trips then a clear
+//     (must NOT fire), MinTrips trips (fires exactly on the last),
+//     extra trips (no re-fire), a clear at ClearAfter-1ns (no resolve),
+//     a clear at ClearAfter (resolves once). Then one stream re-fires
+//     with the same gate distance and both its transitions dedup.
+//     Finally the no-alert fast path is measured allocation-free.
+//  2. Global rate limit: a fixed-budget bucket (GlobalBurst tokens, no
+//     refill) admits exactly GlobalBurst of the generated transitions;
+//     the rest count rate-limited.
+//  3. Per-sink rate limit: two sinks each with their own fixed budget
+//     deliver exactly that many; the overflow counts against the sink.
+//
+// Every act ends with Drain + Books.Balanced — the issue-level equation
+// fired == delivered + deduped + rate_limited + errors — and an
+// idempotent double Close.
+func FlappingSelftest(log *slog.Logger) error {
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	var errs []error
+	if err := selftestHysteresis(log); err != nil {
+		errs = append(errs, err)
+	}
+	if err := selftestGlobalBudget(log); err != nil {
+		errs = append(errs, err)
+	}
+	if err := selftestSinkBudget(log); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// fakeClock is a concurrency-safe manual clock (the dispatcher goroutine
+// reads it while the harness advances it).
+type fakeClock struct{ ns atomic.Int64 }
+
+func newFakeClock(start time.Time) *fakeClock {
+	c := &fakeClock{}
+	c.ns.Store(start.UnixNano())
+	return c
+}
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns.Load()).UTC() }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// captureSink records every delivered notification.
+type captureSink struct {
+	name string
+
+	mu     sync.Mutex
+	notes  []Notification
+	closed int
+}
+
+func newCaptureSink(name string) *captureSink { return &captureSink{name: name} }
+
+func (c *captureSink) Name() string { return c.name }
+
+func (c *captureSink) Deliver(_ context.Context, n Notification) error {
+	c.mu.Lock()
+	c.notes = append(c.notes, n)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *captureSink) Close() error {
+	c.mu.Lock()
+	c.closed++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *captureSink) delivered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.notes)
+}
+
+func (c *captureSink) closes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// selftestEpoch anchors the fake clocks (any fixed instant works; a real
+// date keeps rendered notifications legible).
+var selftestEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// checker accumulates assertion failures instead of stopping at the
+// first — one run reports every broken invariant.
+type checker struct{ errs []error }
+
+func (c *checker) failf(format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf(format, args...))
+}
+
+func (c *checker) assert(ok bool, format string, args ...any) {
+	if !ok {
+		c.failf(format, args...)
+	}
+}
+
+func (c *checker) err() error { return errors.Join(c.errs...) }
+
+// drainAndClose is every act's epilogue: queue drained, books balanced,
+// double Close idempotent, sink closed exactly once.
+func drainAndClose(ck *checker, act string, p *Pipeline, sinks ...*captureSink) Books {
+	ck.assert(p.Drain(5*time.Second), "%s: dispatch queue did not drain", act)
+	books := p.Books()
+	if err := books.Balanced(); err != nil {
+		ck.failf("%s: %w", act, err)
+	}
+	if err := p.Close(); err != nil {
+		ck.failf("%s: close: %w", act, err)
+	}
+	if err := p.Close(); err != nil {
+		ck.failf("%s: second close: %w", act, err)
+	}
+	for _, s := range sinks {
+		ck.assert(s.closes() == 1, "%s: sink %s closed %d times, want exactly 1", act, s.Name(), s.closes())
+	}
+	return books
+}
+
+// selftestHysteresis is act 1: state-machine edges, dedup, exactly-once
+// firing/resolution, and the allocation-free fast path.
+func selftestHysteresis(log *slog.Logger) error {
+	const (
+		nStreams   = 4
+		minTrips   = 3
+		clearAfter = 30 * time.Second
+	)
+	ck := &checker{}
+	clk := newFakeClock(selftestEpoch)
+	sink := newCaptureSink("capture")
+
+	// The transition hook observes every state-machine edge before dedup
+	// and rate limiting — the exactly-once ledger.
+	var hookMu sync.Mutex
+	transitions := make(map[string][]Notification)
+	p := NewPipeline(Options{
+		MinTrips:     minTrips,
+		ClearAfter:   clearAfter,
+		DedupTTL:     time.Hour, // covers the whole choreography
+		DedupQuantum: 0.01,
+		Sinks:        []Sink{sink},
+		Clock:        clk.now,
+		OnTransition: func(n Notification) {
+			hookMu.Lock()
+			transitions[n.Stream] = append(transitions[n.Stream], n)
+			hookMu.Unlock()
+		},
+	})
+
+	trip := func(s *Stream, dist float64, idx int) {
+		clk.advance(time.Second)
+		s.Observe(Observation{Anomalous: true, GateTripped: true, GateDist: dist, LOF: 2.5, WindowIndex: idx})
+	}
+	clear := func(s *Stream, idx int) {
+		s.Observe(Observation{GateDist: 0.1, LOF: 1.0, WindowIndex: idx})
+	}
+
+	streams := make([]*Stream, nStreams)
+	for i := range streams {
+		streams[i] = p.Register(fmt.Sprintf("flap-%d", i), "selftest")
+	}
+
+	idx := 0
+	fireResolveOnce := func(s *Stream, dist float64, wantFired, wantResolved int64) {
+		// Almost-armed: MinTrips-1 trips, then a clear — must disarm.
+		for t := 0; t < minTrips-1; t++ {
+			idx++
+			trip(s, dist, idx)
+		}
+		ck.assert(s.State() == StatePending, "%s: after %d trips state %v, want pending", s.Stream(), minTrips-1, s.State())
+		clk.advance(time.Second)
+		idx++
+		clear(s, idx)
+		ck.assert(s.Fired() == wantFired-1, "%s: fired after disarm = %d, want %d", s.Stream(), s.Fired(), wantFired-1)
+		ck.assert(s.State() != StateFiring && s.State() != StatePending,
+			"%s: state after disarm = %v, want idle/resolved", s.Stream(), s.State())
+
+		// Arm for real: fires exactly on the MinTrips-th trip.
+		for t := 0; t < minTrips; t++ {
+			ck.assert(s.Fired() == wantFired-1, "%s: fired before trip %d = %d, want %d", s.Stream(), t+1, s.Fired(), wantFired-1)
+			idx++
+			trip(s, dist, idx)
+		}
+		fireIdx := idx
+		ck.assert(s.Fired() == wantFired, "%s: fired after %d trips = %d, want %d", s.Stream(), minTrips, s.Fired(), wantFired)
+		ck.assert(s.State() == StateFiring, "%s: state after firing = %v", s.Stream(), s.State())
+
+		// Extra trips while firing: no re-fire.
+		for t := 0; t < 2; t++ {
+			idx++
+			trip(s, dist, idx)
+		}
+		ck.assert(s.Fired() == wantFired, "%s: fired after extra trips = %d, want %d", s.Stream(), s.Fired(), wantFired)
+
+		// A clear one nanosecond short of ClearAfter must not resolve...
+		clk.advance(clearAfter - time.Nanosecond)
+		idx++
+		clear(s, idx)
+		ck.assert(s.State() == StateFiring, "%s: resolved %v early before ClearAfter", s.Stream(), clearAfter)
+		ck.assert(s.Resolved() == wantResolved-1, "%s: resolved early = %d, want %d", s.Stream(), s.Resolved(), wantResolved-1)
+
+		// ...and at exactly ClearAfter it resolves, once.
+		clk.advance(time.Nanosecond)
+		idx++
+		clear(s, idx)
+		ck.assert(s.Resolved() == wantResolved, "%s: resolved = %d, want %d", s.Stream(), s.Resolved(), wantResolved)
+		ck.assert(s.State() == StateResolved, "%s: state after resolve = %v", s.Stream(), s.State())
+		idx++
+		clear(s, idx) // further clears are the fast path: no double resolve
+		ck.assert(s.Resolved() == wantResolved, "%s: double resolve: %d", s.Stream(), s.Resolved())
+
+		// The firing transition carries the arming evidence.
+		hookMu.Lock()
+		seq := transitions[s.Stream()]
+		hookMu.Unlock()
+		want := 2 * int(wantFired)
+		if ck.assert(len(seq) == want, "%s: %d transitions, want %d", s.Stream(), len(seq), want); len(seq) == want {
+			firing, resolved := seq[want-2], seq[want-1]
+			ck.assert(firing.Kind == KindFiring && resolved.Kind == KindResolved,
+				"%s: transition kinds %v/%v, want firing/resolved", s.Stream(), firing.Kind, resolved.Kind)
+			ck.assert(firing.Trips == minTrips, "%s: firing trips %d, want %d", s.Stream(), firing.Trips, minTrips)
+			ck.assert(firing.WindowIndex == fireIdx, "%s: firing window %d, want %d", s.Stream(), firing.WindowIndex, fireIdx)
+			ck.assert(firing.GateDist == dist, "%s: firing dist %g, want %g", s.Stream(), firing.GateDist, dist)
+			ck.assert(resolved.DurationS > 0, "%s: resolved duration %g, want > 0", s.Stream(), resolved.DurationS)
+			ck.assert(resolved.FiredWall.Equal(firing.Wall), "%s: resolved fired_wall %v != firing wall %v",
+				s.Stream(), resolved.FiredWall, firing.Wall)
+		}
+	}
+
+	// Act 1a: every stream runs the full trip/clear/trip choreography with
+	// a stream-unique gate distance (no cross-stream dedup).
+	for i, s := range streams {
+		fireResolveOnce(s, 1.0+float64(i), 1, 1)
+	}
+
+	// Act 1b: resolved → pending → re-fire on stream 0 with the SAME gate
+	// distance: both transitions hit the dedup set (exact re-notification
+	// within the TTL), yet the state machine still counts the incident.
+	fireResolveOnce(streams[0], 1.0, 2, 2)
+
+	// Act 1c: the no-alert fast path allocates nothing. Measured with the
+	// runtime's own malloc counter (this runs inside the binary, not a
+	// test); the dispatcher is idle after Drain so the loop is the only
+	// foreground activity. Skipped under the race detector.
+	ck.assert(p.Drain(5*time.Second), "hysteresis: queue did not drain before alloc check")
+	if !raceEnabled {
+		quiet := Observation{GateDist: 0.1, LOF: 1.0, WindowIndex: idx}
+		s := streams[1]
+		const iters = 100000
+		best := ^uint64(0)
+		for trial := 0; trial < 3 && best > 0; trial++ {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			for i := 0; i < iters; i++ {
+				s.Observe(quiet)
+			}
+			runtime.ReadMemStats(&after)
+			if d := after.Mallocs - before.Mallocs; d < best {
+				best = d
+			}
+		}
+		ck.assert(best == 0, "fast path allocated (%d mallocs over %d observes)", best, iters)
+	}
+
+	// Admin view before the streams go away.
+	snap := p.Snapshot()
+	ck.assert(p.FiringStreams() == 0, "hysteresis: %d streams still firing", p.FiringStreams())
+	ck.assert(len(snap.Streams) == nStreams, "hysteresis: snapshot lists %d streams, want %d", len(snap.Streams), nStreams)
+	for _, st := range snap.Streams {
+		ck.assert(st.State == "resolved", "hysteresis: snapshot stream %s state %q, want resolved", st.Stream, st.State)
+	}
+	ck.assert(len(snap.Recent) == 2*(nStreams+1), "hysteresis: %d recent notifications, want %d", len(snap.Recent), 2*(nStreams+1))
+
+	// Closing a resolved stream emits nothing further.
+	for _, s := range streams {
+		s.Close()
+	}
+
+	books := drainAndClose(ck, "hysteresis", p, sink)
+	wantFired := int64(nStreams + 1)
+	ck.assert(books.Fired == wantFired, "hysteresis: books fired %d, want %d", books.Fired, wantFired)
+	ck.assert(books.Resolved == wantFired, "hysteresis: books resolved %d, want %d", books.Resolved, wantFired)
+	ck.assert(books.Deduped == 2, "hysteresis: books deduped %d, want 2", books.Deduped)
+	ck.assert(books.RateLimited() == 0, "hysteresis: books rate-limited %d, want 0", books.RateLimited())
+	wantDelivered := int64(2 * nStreams)
+	ck.assert(books.Enqueued == wantDelivered, "hysteresis: books enqueued %d, want %d", books.Enqueued, wantDelivered)
+	ck.assert(int64(sink.delivered()) == wantDelivered, "hysteresis: sink saw %d, want %d", sink.delivered(), wantDelivered)
+
+	log.Info("alert selftest: hysteresis+dedup act passed",
+		"streams", nStreams, "fired", books.Fired, "resolved", books.Resolved,
+		"deduped", books.Deduped, "delivered", sink.delivered())
+	return ck.err()
+}
+
+// selftestGlobalBudget is act 2: the global fixed-budget bucket admits
+// exactly its burst; everything past it counts rate-limited.
+func selftestGlobalBudget(log *slog.Logger) error {
+	const (
+		budget     = 3
+		incidents  = 8
+		clearAfter = 10 * time.Second
+	)
+	ck := &checker{}
+	clk := newFakeClock(selftestEpoch)
+	sink := newCaptureSink("capture")
+	p := NewPipeline(Options{
+		MinTrips:    1,
+		ClearAfter:  clearAfter,
+		DedupTTL:    -1, // every transition is fresh: the bucket is the only gate
+		GlobalRate:  0,
+		GlobalBurst: budget,
+		Sinks:       []Sink{sink},
+		Clock:       clk.now,
+	})
+	s := p.Register("budget-0", "selftest")
+	for i := 0; i < incidents; i++ {
+		clk.advance(time.Second)
+		s.Observe(Observation{Anomalous: true, GateDist: float64(i), LOF: 3, WindowIndex: 2 * i})
+		clk.advance(clearAfter)
+		s.Observe(Observation{GateDist: 0.1, LOF: 1, WindowIndex: 2*i + 1})
+	}
+	ck.assert(s.Fired() == incidents, "budget: fired %d, want %d", s.Fired(), int64(incidents))
+	ck.assert(s.Resolved() == incidents, "budget: resolved %d, want %d", s.Resolved(), int64(incidents))
+	s.Close()
+
+	books := drainAndClose(ck, "budget", p, sink)
+	const transitions = 2 * incidents
+	ck.assert(books.Enqueued == budget, "budget: enqueued %d, want %d", books.Enqueued, int64(budget))
+	ck.assert(books.RateLimitedGlobal == transitions-budget,
+		"budget: rate-limited %d, want %d", books.RateLimitedGlobal, int64(transitions-budget))
+	ck.assert(int64(sink.delivered()) == budget, "budget: sink saw %d, want %d", sink.delivered(), int64(budget))
+
+	log.Info("alert selftest: global rate-limit act passed",
+		"transitions", transitions, "delivered", sink.delivered(), "rate_limited", books.RateLimitedGlobal)
+	return ck.err()
+}
+
+// selftestSinkBudget is act 3: per-sink fixed budgets — each of two
+// sinks delivers exactly its own allowance out of the shared queue.
+func selftestSinkBudget(log *slog.Logger) error {
+	const (
+		sinkBudget = 2
+		incidents  = 3
+		clearAfter = 10 * time.Second
+	)
+	ck := &checker{}
+	clk := newFakeClock(selftestEpoch)
+	a, b := newCaptureSink("capture-a"), newCaptureSink("capture-b")
+	p := NewPipeline(Options{
+		MinTrips:   1,
+		ClearAfter: clearAfter,
+		DedupTTL:   -1,
+		SinkRate:   0,
+		SinkBurst:  sinkBudget,
+		Sinks:      []Sink{a, b},
+		Clock:      clk.now,
+	})
+	s := p.Register("sinkbudget-0", "selftest")
+	for i := 0; i < incidents; i++ {
+		clk.advance(time.Second)
+		s.Observe(Observation{Anomalous: true, GateDist: float64(i), LOF: 3, WindowIndex: 2 * i})
+		clk.advance(clearAfter)
+		s.Observe(Observation{GateDist: 0.1, LOF: 1, WindowIndex: 2*i + 1})
+	}
+	s.Close()
+
+	books := drainAndClose(ck, "sink-budget", p, a, b)
+	const transitions = 2 * incidents
+	ck.assert(books.Enqueued == transitions, "sink-budget: enqueued %d, want %d", books.Enqueued, int64(transitions))
+	for _, sb := range books.Sinks {
+		ck.assert(sb.Delivered == sinkBudget, "sink-budget: sink %s delivered %d, want %d", sb.Name, sb.Delivered, int64(sinkBudget))
+		ck.assert(sb.RateLimited == transitions-sinkBudget,
+			"sink-budget: sink %s rate-limited %d, want %d", sb.Name, sb.RateLimited, int64(transitions-sinkBudget))
+	}
+	ck.assert(a.delivered() == sinkBudget && b.delivered() == sinkBudget,
+		"sink-budget: captures saw %d/%d, want %d each", a.delivered(), b.delivered(), sinkBudget)
+
+	log.Info("alert selftest: per-sink rate-limit act passed",
+		"transitions", transitions, "per_sink_delivered", sinkBudget)
+	return ck.err()
+}

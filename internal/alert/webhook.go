@@ -1,0 +1,142 @@
+package alert
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// WebhookOptions tunes a WebhookSink.
+type WebhookOptions struct {
+	// Retries is how many times a retryable failure (transport error or
+	// 5xx) is retried after the first attempt (default 2, so 3 attempts).
+	Retries int
+	// Backoff is the first retry delay; it doubles per retry (default
+	// 250ms). Waits are cut short by the delivery context.
+	Backoff time.Duration
+	// MaxBody bounds how much of a response body is read — oversized
+	// (or hostile) responses are truncated, never buffered whole
+	// (default 4096 bytes).
+	MaxBody int64
+	// Client substitutes the HTTP client (default http.DefaultClient;
+	// per-attempt deadlines come from the delivery context either way).
+	Client *http.Client
+	// Name overrides the sink's metrics label (default "webhook").
+	Name string
+}
+
+func (o WebhookOptions) withDefaults() WebhookOptions {
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 250 * time.Millisecond
+	}
+	if o.MaxBody <= 0 {
+		o.MaxBody = 4096
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Name == "" {
+		o.Name = "webhook"
+	}
+	return o
+}
+
+// WebhookSink POSTs each notification as JSON to one URL, with bounded
+// retries: transport errors and 5xx responses back off and retry (the
+// remote may be restarting), 4xx responses fail immediately (retrying a
+// rejection is spam), and the delivery context caps the whole attempt
+// train — a hung webhook costs one delivery slot, never a scoring stall
+// (the dispatch queue is the buffer in between).
+type WebhookSink struct {
+	url  string
+	opts WebhookOptions
+	// sleep is the inter-retry wait, swapped out by tests to assert the
+	// backoff schedule without wall-clock waits.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewWebhookSink builds a webhook sink for url.
+func NewWebhookSink(url string, opts WebhookOptions) *WebhookSink {
+	return &WebhookSink{url: url, opts: opts.withDefaults(), sleep: sleepCtx}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (s *WebhookSink) Name() string { return s.opts.Name }
+
+func (s *WebhookSink) Deliver(ctx context.Context, n Notification) error {
+	payload, err := json.Marshal(n)
+	if err != nil {
+		return fmt.Errorf("alert: webhook encode: %w", err)
+	}
+	backoff := s.opts.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= s.opts.Retries; attempt++ {
+		if attempt > 0 {
+			if err := s.sleep(ctx, backoff); err != nil {
+				return fmt.Errorf("alert: webhook %s: %w (after %v)", s.url, err, lastErr)
+			}
+			backoff *= 2
+		}
+		retryable, err := s.post(ctx, payload)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("alert: webhook %s: %w (after %v)", s.url, ctx.Err(), lastErr)
+		}
+	}
+	return lastErr
+}
+
+// post runs one attempt; retryable reports whether another attempt could
+// help (transport failure or 5xx).
+func (s *WebhookSink) post(ctx context.Context, payload []byte) (retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, bytes.NewReader(payload))
+	if err != nil {
+		return false, fmt.Errorf("alert: webhook %s: %w", s.url, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.opts.Client.Do(req)
+	if err != nil {
+		return true, fmt.Errorf("alert: webhook %s: %w", s.url, err)
+	}
+	// Read at most MaxBody bytes (the error detail), then drain a little
+	// more so keep-alive can reuse the connection — but never the whole
+	// body: an oversized response is the server's problem, not ours.
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, s.opts.MaxBody))
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return false, nil
+	case resp.StatusCode >= 500:
+		return true, fmt.Errorf("alert: webhook %s: %s: %q", s.url, resp.Status, truncate(body, 256))
+	default:
+		return false, fmt.Errorf("alert: webhook %s: %s: %q", s.url, resp.Status, truncate(body, 256))
+	}
+}
+
+func (s *WebhookSink) Close() error { return nil }

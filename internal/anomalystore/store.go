@@ -49,6 +49,7 @@ package anomalystore
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -82,6 +83,22 @@ const (
 	maxIncidentWindows = 4096
 )
 
+// Record flag bits (the uvarint flags field of each payload). Bit 0 has
+// meant "anomalous" since version 1; bits 1 and 2 mark alert-pipeline
+// transition records and are mutually exclusive. Old readers ignore the
+// new bits; old records never have them set — no format break.
+const (
+	flagAnomalous     = 1 << 0
+	flagAlertFiring   = 1 << 1
+	flagAlertResolved = 1 << 2
+)
+
+// Alert marker values carried by Incident.Alert / IncidentMeta.Alert.
+const (
+	alertFiring   = "firing"
+	alertResolved = "resolved"
+)
+
 // Incident is one persisted gate trip: the window that tripped the gate
 // (the last entry of Windows, identified by WindowIndex), the context
 // windows preceding it, and everything a forensic replay needs to re-score
@@ -108,6 +125,11 @@ type Incident struct {
 	// WindowIndex/Start/End locate the tripped window in stream trace time.
 	WindowIndex int
 	Start, End  time.Duration
+	// Alert marks alert-pipeline transition records: "firing" or
+	// "resolved" (empty for ordinary gate-trip incidents). Alert records
+	// carry no windows — they are the incident timeline, not evidence —
+	// so replay skips them (Principal reports no window).
+	Alert string
 	// Windows holds the pre-trip context windows followed by the tripped
 	// window itself (always last).
 	Windows []window.Window
@@ -131,19 +153,36 @@ func (inc *Incident) Principal() (window.Window, bool) {
 // IncidentMeta is the window-free view of an incident served by the
 // /anomalies admin endpoint and kept in the store's recent ring.
 type IncidentMeta struct {
-	Seq       uint64  `json:"seq"`
-	Stream    string  `json:"stream"`
-	Model     string  `json:"model"`
-	ModelGen  int64   `json:"model_gen"`
-	Wall      string  `json:"wall"`
-	Score     float64 `json:"score"`
-	GateDist  float64 `json:"gate_dist"`
-	Alpha     float64 `json:"alpha"`
-	Anomalous bool    `json:"anomalous"`
-	StartS    float64 `json:"start_s"`
-	EndS      float64 `json:"end_s"`
-	Windows   int     `json:"windows"`
-	Events    int     `json:"events"`
+	Seq       uint64    `json:"seq"`
+	Stream    string    `json:"stream"`
+	Model     string    `json:"model"`
+	ModelGen  int64     `json:"model_gen"`
+	Wall      string    `json:"wall"`
+	Score     JSONFloat `json:"score"`
+	GateDist  JSONFloat `json:"gate_dist"`
+	Alpha     float64   `json:"alpha"`
+	Anomalous bool      `json:"anomalous"`
+	Alert     string    `json:"alert,omitempty"`
+	StartS    float64   `json:"start_s"`
+	EndS      float64   `json:"end_s"`
+	Windows   int       `json:"windows"`
+	Events    int       `json:"events"`
+}
+
+// JSONFloat marshals like float64 but renders NaN/±Inf as null: gate
+// distances are legitimately +Inf for disjoint distributions, but JSON
+// has no Inf/NaN and one such incident must not break the whole
+// /anomalies body with a marshal error. A field type (rather than a
+// MarshalJSON on IncidentMeta) so structs embedding the meta keep their
+// own fields — a promoted struct marshaler would silently drop them.
+type JSONFloat float64
+
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
 }
 
 // Meta returns the incident's window-free summary.
@@ -158,10 +197,11 @@ func (inc *Incident) Meta() IncidentMeta {
 		Model:     inc.Model,
 		ModelGen:  inc.ModelGen,
 		Wall:      inc.Wall.UTC().Format(time.RFC3339Nano),
-		Score:     inc.Score,
-		GateDist:  inc.GateDist,
+		Score:     JSONFloat(inc.Score),
+		GateDist:  JSONFloat(inc.GateDist),
 		Alpha:     inc.Alpha,
 		Anomalous: inc.Anomalous,
+		Alert:     inc.Alert,
 		StartS:    inc.Start.Seconds(),
 		EndS:      inc.End.Seconds(),
 		Windows:   len(inc.Windows),
@@ -551,7 +591,16 @@ func appendIncident(buf []byte, inc *Incident) ([]byte, error) {
 	buf = appendFloat64(buf, inc.Alpha)
 	var flags uint64
 	if inc.Anomalous {
-		flags |= 1
+		flags |= flagAnomalous
+	}
+	switch inc.Alert {
+	case "":
+	case alertFiring:
+		flags |= flagAlertFiring
+	case alertResolved:
+		flags |= flagAlertResolved
+	default:
+		return nil, fmt.Errorf("anomalystore: unknown alert marker %q", inc.Alert)
 	}
 	buf = binary.AppendUvarint(buf, flags)
 	buf = binary.AppendUvarint(buf, uint64(inc.WindowIndex))
@@ -672,7 +721,16 @@ func DecodeIncident(payload []byte) (*Incident, error) {
 	inc.GateDist = d.float64("gate distance")
 	inc.Alpha = d.float64("alpha")
 	flags := d.uvarint("flags")
-	inc.Anomalous = flags&1 != 0
+	inc.Anomalous = flags&flagAnomalous != 0
+	switch flags & (flagAlertFiring | flagAlertResolved) {
+	case 0:
+	case flagAlertFiring:
+		inc.Alert = alertFiring
+	case flagAlertResolved:
+		inc.Alert = alertResolved
+	default:
+		return nil, fmt.Errorf("anomalystore: record flags %#x set both alert bits", flags)
+	}
 	inc.WindowIndex = int(d.uvarint("window index"))
 	inc.Start = time.Duration(d.uvarint("start"))
 	inc.End = time.Duration(d.uvarint("end"))

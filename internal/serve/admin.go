@@ -36,6 +36,7 @@ type healthReport struct {
 //	GET  /stats         aggregate totals in the `monitor -json` report shape
 //	GET  /metrics       Prometheus text exposition, labelled by model/stream
 //	GET  /anomalies     anomaly store stats + recent incidents (?n, ?seq)
+//	GET  /alerts        alert pipeline books, stream states, recent notifications
 //	GET  /debug/flight  sampled per-event pipeline timings (flight recorder)
 //	GET  /debug/pprof/  net/http/pprof (only with Options.EnablePprof)
 //	POST /reload        hot-reload the model registry from its directory
@@ -60,6 +61,15 @@ func (s *Server) adminMux() *http.ServeMux {
 	})
 	mux.HandleFunc("GET /anomalies", func(w http.ResponseWriter, r *http.Request) {
 		s.handleAnomalies(w, r)
+	})
+	mux.HandleFunc("GET /alerts", func(w http.ResponseWriter, r *http.Request) {
+		if s.opts.Alerts == nil {
+			writeJSON(w, http.StatusNotFound, struct {
+				Error string `json:"error"`
+			}{"no alert pipeline attached (start the daemon with -alert-log, -alert-webhook or -alert-exec)"})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.opts.Alerts.Snapshot())
 	})
 	mux.HandleFunc("GET /debug/flight", func(w http.ResponseWriter, r *http.Request) {
 		if s.flight == nil {

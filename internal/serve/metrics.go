@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"enduratrace/internal/alert"
 	"enduratrace/internal/obs"
 )
 
@@ -140,6 +141,69 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		m.sample("enduratrace_anomaly_store_segments", float64(st.Segments))
 		m.family("enduratrace_anomaly_store_bytes", "gauge", "Total size of the anomaly store's segment files.")
 		m.sample("enduratrace_anomaly_store_bytes", float64(st.Bytes))
+	}
+
+	// Alerting ledger: every state-machine transition lands in exactly one
+	// pre-queue bucket (deduped / rate-limited / queue-dropped / enqueued),
+	// every processed notification in one per-sink bucket — the same books
+	// Books.Balanced verifies, scraped.
+	if ap := s.opts.Alerts; ap != nil {
+		b := ap.Books()
+		perAlertModel := []struct {
+			name, help string
+			value      func(mb alert.ModelBooks) int64
+		}{
+			{"enduratrace_alerts_fired_total", "Alert incidents fired (pending crossed min-trips), per model.",
+				func(mb alert.ModelBooks) int64 { return mb.Fired }},
+			{"enduratrace_alerts_resolved_total", "Alert incidents resolved (clear held past clear-after), per model.",
+				func(mb alert.ModelBooks) int64 { return mb.Resolved }},
+			{"enduratrace_alerts_deduped_total", "Alert notifications suppressed by the content dedup window, per model.",
+				func(mb alert.ModelBooks) int64 { return mb.Deduped }},
+		}
+		for _, fam := range perAlertModel {
+			m.family(fam.name, "counter", fam.help)
+			for _, mb := range b.Models {
+				m.sample(fam.name, float64(fam.value(mb)), "model", mb.Model)
+			}
+		}
+		perSink := []struct {
+			name, help string
+			value      func(sb alert.SinkBooks) int64
+		}{
+			{"enduratrace_alerts_delivered_total", "Alert notifications delivered, per sink.",
+				func(sb alert.SinkBooks) int64 { return sb.Delivered }},
+			{"enduratrace_alerts_rate_limited_total", "Alert notifications refused by a per-sink token bucket.",
+				func(sb alert.SinkBooks) int64 { return sb.RateLimited }},
+			{"enduratrace_alerts_delivery_errors_total", "Alert deliveries that failed after the sink's own retries.",
+				func(sb alert.SinkBooks) int64 { return sb.Errors }},
+		}
+		for _, fam := range perSink {
+			m.family(fam.name, "counter", fam.help)
+			for _, sb := range b.Sinks {
+				m.sample(fam.name, float64(fam.value(sb)), "sink", sb.Name)
+			}
+		}
+		m.family("enduratrace_alerts_rate_limited_global_total", "counter",
+			"Alert notifications refused by the global token bucket, before the queue.")
+		m.sample("enduratrace_alerts_rate_limited_global_total", float64(b.RateLimitedGlobal))
+		m.family("enduratrace_alerts_queue_dropped_total", "counter",
+			"Alert notifications dropped by a full dispatch queue (scoring never waits).")
+		m.sample("enduratrace_alerts_queue_dropped_total", float64(b.QueueDropped))
+		m.family("enduratrace_alerts_enqueued_total", "counter",
+			"Alert notifications handed to the dispatcher.")
+		m.sample("enduratrace_alerts_enqueued_total", float64(b.Enqueued))
+		m.family("enduratrace_alerts_queue_depth", "gauge",
+			"Alert notifications queued or in delivery.")
+		m.sample("enduratrace_alerts_queue_depth", float64(ap.QueueDepth()))
+		m.family("enduratrace_alerts_firing", "gauge",
+			"Streams with an open (firing) alert incident.")
+		m.sample("enduratrace_alerts_firing", float64(ap.FiringStreams()))
+		m.family("enduratrace_alert_transitions_persisted_total", "counter",
+			"Alert transitions persisted to the anomaly store.")
+		m.sample("enduratrace_alert_transitions_persisted_total", float64(s.alertPersisted.Load()))
+		m.family("enduratrace_alert_store_errors_total", "counter",
+			"Alert-transition store appends that failed (alerting continues).")
+		m.sample("enduratrace_alert_store_errors_total", float64(s.alertPersistErrs.Load()))
 	}
 
 	// Registry contents: point counts, flagging the default model.

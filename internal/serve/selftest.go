@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"enduratrace/internal/alert"
 	"enduratrace/internal/anomalystore"
 	"enduratrace/internal/core"
 	"enduratrace/internal/mediasim"
@@ -67,6 +68,13 @@ type SelftestOptions struct {
 	// was persisted (AnomalyIncidents == GateTrips) with zero store errors.
 	// The caller owns and closes the store.
 	Anomalies *anomalystore.Store
+	// Alerts attaches an alerting pipeline (see Options.Alerts). The
+	// selftest then drains the dispatch queue once every stream has
+	// closed and asserts the delivery books balance (alert.Books.Balanced)
+	// — and, with Anomalies also set, that every transition was persisted
+	// (AlertTransitions == fired + resolved) with zero store errors. The
+	// caller owns and closes the pipeline.
+	Alerts *alert.Pipeline
 	// QueueLen, Backpressure, Sinks, Logger as in Options.
 	QueueLen     int
 	Backpressure Backpressure
@@ -111,6 +119,9 @@ type SelftestReport struct {
 	LatencyP50Ms   float64 `json:"latency_p50_ms"`
 	LatencyP99Ms   float64 `json:"latency_p99_ms"`
 	LatencyP999Ms  float64 `json:"latency_p999_ms"`
+	// Alerts is the alerting pipeline's final ledger, set when
+	// SelftestOptions.Alerts attached one (asserted balanced).
+	Alerts *alert.Books `json:"alerts,omitempty"`
 }
 
 // Selftest starts a server on loopback, fans opts.Clients simulated
@@ -139,6 +150,7 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 		Backpressure: opts.Backpressure,
 		Sinks:        opts.Sinks,
 		Anomalies:    opts.Anomalies,
+		Alerts:       opts.Alerts,
 		Logger:       opts.Logger,
 	})
 	if err != nil {
@@ -399,8 +411,38 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 			stats.StreamsRejected, stats.RejectedUnknownModel, opts.RejectClients)
 	}
 
+	// Alert books: with a pipeline attached, every stream has closed (so
+	// the state machines are quiet), the dispatch queue must drain, and
+	// the delivery ledger must balance — fired + resolved == deduped +
+	// rate-limited + queue-dropped + enqueued, with every enqueued
+	// notification in exactly one per-sink bucket.
+	if opts.Alerts != nil {
+		if !opts.Alerts.Drain(10 * time.Second) {
+			return rep, fmt.Errorf("serve: selftest alert queue did not drain")
+		}
+		b := opts.Alerts.Books()
+		rep.Alerts = &b
+		if err := b.Balanced(); err != nil {
+			return rep, fmt.Errorf("serve: selftest %w", err)
+		}
+		if stats.AlertsFiring != 0 {
+			return rep, fmt.Errorf("serve: selftest %d streams still firing after close", stats.AlertsFiring)
+		}
+		if opts.Anomalies != nil {
+			if stats.AlertStoreErrors != 0 {
+				return rep, fmt.Errorf("serve: selftest alert store reported %d append errors",
+					stats.AlertStoreErrors)
+			}
+			if want := b.Fired + b.Resolved; stats.AlertTransitions != want {
+				return rep, fmt.Errorf("serve: selftest persisted %d alert transitions, pipeline emitted %d",
+					stats.AlertTransitions, want)
+			}
+		}
+	}
+
 	// Anomaly store books: with a store attached, every gate trip must
 	// have been persisted as an incident and no append may have failed.
+	// Alert transitions (window-free records) ride the same store.
 	if opts.Anomalies != nil {
 		if stats.AnomalyStoreErrors != 0 {
 			return rep, fmt.Errorf("serve: selftest anomaly store reported %d append errors",
@@ -410,9 +452,9 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 			return rep, fmt.Errorf("serve: selftest persisted %d incidents, server tripped %d gates",
 				stats.AnomalyIncidents, stats.GateTrips)
 		}
-		if st := opts.Anomalies.Stats(); st.Appended != stats.AnomalyIncidents {
-			return rep, fmt.Errorf("serve: selftest store holds %d appended incidents, server counted %d",
-				st.Appended, stats.AnomalyIncidents)
+		if st := opts.Anomalies.Stats(); st.Appended != stats.AnomalyIncidents+stats.AlertTransitions {
+			return rep, fmt.Errorf("serve: selftest store holds %d appended records, server counted %d incidents + %d alert transitions",
+				st.Appended, stats.AnomalyIncidents, stats.AlertTransitions)
 		}
 	}
 	return rep, nil

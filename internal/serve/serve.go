@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"enduratrace/internal/alert"
 	"enduratrace/internal/anomalystore"
 	"enduratrace/internal/core"
 	"enduratrace/internal/obs"
@@ -91,6 +92,16 @@ type Options struct {
 	// captures cost real cycles, so the handlers exist only when asked
 	// for (the -pprof flag).
 	EnablePprof bool
+	// Alerts, when non-nil, feeds every scoring decision through the
+	// alerting pipeline: each stream gets a hysteresis state machine
+	// (alert.Options.MinTrips / ClearAfter) whose firing/resolved
+	// transitions are deduped, rate limited and delivered to the
+	// configured sinks. With Anomalies also set, New installs the
+	// pipeline's transition hook so every transition is persisted to the
+	// store as a window-free incident. The server does not own the
+	// pipeline; the caller closes it after Serve returns (so queued
+	// notifications drain after the last stream ends).
+	Alerts *alert.Pipeline
 }
 
 // Defaults for the observability knobs.
@@ -150,10 +161,18 @@ type StatsReport struct {
 	// AnomalyIncidents counts gate trips persisted to the anomaly store;
 	// AnomalyStoreErrors counts appends that failed (the stream continues).
 	// Both stay zero when no store is attached.
-	AnomalyIncidents   int64   `json:"anomaly_incidents"`
-	AnomalyStoreErrors int64   `json:"anomaly_store_errors"`
-	ModelPoints        int     `json:"model_points"`
-	UptimeS            float64 `json:"uptime_s"`
+	AnomalyIncidents   int64 `json:"anomaly_incidents"`
+	AnomalyStoreErrors int64 `json:"anomaly_store_errors"`
+	// AlertTransitions counts alert firing/resolved transitions persisted
+	// to the anomaly store (every transition, before dedup and rate
+	// limiting); AlertStoreErrors counts those appends that failed.
+	// AlertsFiring is the number of streams with an open incident right
+	// now. All zero without an alert pipeline.
+	AlertTransitions int64   `json:"alert_transitions"`
+	AlertStoreErrors int64   `json:"alert_store_errors"`
+	AlertsFiring     int     `json:"alerts_firing"`
+	ModelPoints      int     `json:"model_points"`
+	UptimeS          float64 `json:"uptime_s"`
 }
 
 // StreamView is one live stream's row in /streams.
@@ -244,6 +263,10 @@ type Server struct {
 	anomIncidents atomic.Int64 // gate trips persisted to the anomaly store
 	anomStoreErrs atomic.Int64 // anomaly store appends that failed
 
+	alertPersisted   atomic.Int64 // alert transitions persisted to the anomaly store
+	alertPersistErrs atomic.Int64 // alert-transition appends that failed
+	alertErrLogged   atomic.Bool  // one log line for persist failures, not one per transition
+
 	wg sync.WaitGroup
 }
 
@@ -284,7 +307,7 @@ func New(opts Options) (*Server, error) {
 	if opts.FlightEvery > 0 {
 		flight = obs.NewFlight(opts.FlightEvery, opts.FlightCap)
 	}
-	return &Server{
+	srv := &Server{
 		opts:     opts,
 		models:   models,
 		reg:      core.NewStreamRegistry(models),
@@ -295,7 +318,13 @@ func New(opts Options) (*Server, error) {
 		conns:    make(map[net.Conn]struct{}),
 		streams:  make(map[string]*stream),
 		closedBy: make(map[string]ioTotals),
-	}, nil
+	}
+	if opts.Alerts != nil && opts.Anomalies != nil {
+		// Persist every alert transition into the anomaly store alongside
+		// the gate-trip incidents; installed before any stream registers.
+		opts.Alerts.SetTransitionHook(srv.persistAlertTransition)
+	}
+	return srv, nil
 }
 
 // pipelineFor returns the stage-histogram bundle for a model name,
@@ -602,6 +631,13 @@ func (s *Server) handleConn(conn net.Conn) {
 	if s.opts.Anomalies != nil {
 		inner = s.newTripRecorder(h).onDecision
 	}
+	// The alert state machine rides the same decision callback, on the
+	// scoring goroutine; its no-alert fast path keeps the quiet-stream
+	// cost at zero allocations.
+	var as *alert.Stream
+	if s.opts.Alerts != nil {
+		as = s.opts.Alerts.Register(h.ID(), h.Model().Name)
+	}
 	onDecision := func(d core.Decision) error {
 		now := obs.Now()
 		// Every event popped since the previous decision belongs to this
@@ -642,12 +678,26 @@ func (s *Server) handleConn(conn net.Conn) {
 				s.flight.Add(rec)
 			}
 		}
+		if as != nil {
+			as.Observe(alert.Observation{
+				GateTripped: d.GateTripped,
+				Anomalous:   d.Anomalous,
+				GateDist:    d.GateDist,
+				LOF:         d.LOF,
+				WindowIndex: d.Window.Index,
+			})
+		}
 		if inner != nil {
 			return inner(d)
 		}
 		return nil
 	}
 	stats, runErr := h.Monitor().Run(st.q, ls, onDecision)
+	if as != nil {
+		// Run has returned, so this is still the (former) scoring
+		// goroutine: the stream going away resolves any open incident.
+		as.Close()
+	}
 	// Close the queue before joining the ingester: if Run exited early (a
 	// sink error), the ingest goroutine may be parked in a Block-policy
 	// Push with nobody left to consume — Close (idempotent) unparks it.
@@ -724,8 +774,13 @@ func (s *Server) Stats() StatsReport {
 		RejectedUnknownModel: rejUnknown,
 		AnomalyIncidents:     s.anomIncidents.Load(),
 		AnomalyStoreErrors:   s.anomStoreErrs.Load(),
+		AlertTransitions:     s.alertPersisted.Load(),
+		AlertStoreErrors:     s.alertPersistErrs.Load(),
 		ModelPoints:          s.models.Default().Learned.Model.Len(),
 		UptimeS:              time.Since(s.start).Seconds(),
+	}
+	if s.opts.Alerts != nil {
+		rep.AlertsFiring = s.opts.Alerts.FiringStreams()
 	}
 	s.mu.Lock()
 	rep.FullBytes = s.closed.fullBytes
