@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci eval bench microbench
+.PHONY: all build test race vet fmt-check lint ci eval bench microbench
 
 all: build
 
@@ -21,8 +21,14 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# The repo-invariant static-analysis suite plus the compiler-backed
+# zero-alloc gate (see DESIGN.md "Static analysis"). Exits non-zero on
+# any finding or stale //lint:ignore.
+lint:
+	$(GO) run ./cmd/enduratrace lint ./...
+
 # The full tier-1 gate, same as the GitHub Actions workflow.
-ci: fmt-check vet build race
+ci: fmt-check vet lint build race
 
 # Run the §III experiment and drop the JSON report next to the repo.
 eval:

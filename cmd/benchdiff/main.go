@@ -123,6 +123,7 @@ func main() {
 			status = "ungated"
 		}
 		fmt.Printf("%-9s %-50s %12.0f → %12.0f ns/op (%+.1f%%)", status, name, od.nsPerOp, nw.nsPerOp, pct)
+		//lint:ignore floateq allocs/op are small integers parsed into float64; exact compare intended
 		if od.allocsPerOp >= 0 && nw.allocsPerOp >= 0 && nw.allocsPerOp != od.allocsPerOp {
 			fmt.Printf("  allocs %0.f → %0.f", od.allocsPerOp, nw.allocsPerOp)
 		}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"enduratrace/internal/lint"
+)
+
+// cmdLint runs the repo-invariant static-analysis suite plus the
+// compiler-backed zero-alloc gate over the module containing the current
+// directory. Exit status 1 on any finding, so CI can gate on it.
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	zeroAlloc := fs.Bool("zeroalloc", true, "run the //enduratrace:zeroalloc escape-analysis gate")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, `usage: enduratrace lint [flags] [packages]
+
+Runs the repo's static-analysis suite over the module packages matched
+by the patterns (default ./...): analyzers for the invariant classes
+this codebase has shipped bugs against, plus a zero-alloc gate that
+checks //enduratrace:zeroalloc functions against the compiler's escape
+analysis. Suppress a finding with //lint:ignore <analyzer> <reason> on
+the flagged line or the line above; an ignore that suppresses nothing
+is itself an error. Exits 1 on any finding.
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("%-15s %s\n", "zeroalloc", "//enduratrace:zeroalloc functions must not heap-allocate (go build -gcflags=-m)")
+		fmt.Printf("%-15s %s\n", "staleignore", "//lint:ignore comments must suppress something")
+		return nil
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		return err
+	}
+	findings, err := lint.Run(root, patterns, lint.Options{ZeroAlloc: *zeroAlloc})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	if n := len(findings); n > 0 {
+		return fmt.Errorf("lint: %d finding(s)", n)
+	}
+	if !*jsonOut {
+		fmt.Fprintln(os.Stderr, "lint: clean")
+	}
+	return nil
+}

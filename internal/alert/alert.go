@@ -259,11 +259,11 @@ type Pipeline struct {
 	enqueued     atomic.Int64 // notifications handed to the dispatcher
 
 	mu       sync.Mutex
-	models   map[string]*modelCounters
-	streams  map[*Stream]struct{}
-	recent   []Notification
-	recentAt int
-	hook     func(Notification)
+	models   map[string]*modelCounters //enduratrace:guarded-by mu
+	streams  map[*Stream]struct{}      //enduratrace:guarded-by mu
+	recent   []Notification            //enduratrace:guarded-by mu
+	recentAt int                       //enduratrace:guarded-by mu
+	hook     func(Notification)        //enduratrace:guarded-by mu
 }
 
 // NewPipeline validates the options and builds a running pipeline (the
@@ -391,6 +391,8 @@ func (s *Stream) Resolved() int64 { return s.resolved.Load() }
 // Observe advances the state machine with one window's verdict. The
 // no-alert fast path — a clear window on an idle or resolved stream —
 // returns without locking, reading the clock, or allocating.
+//
+//enduratrace:zeroalloc
 func (s *Stream) Observe(o Observation) {
 	tripped := o.Anomalous
 	if s.p.opts.TripOnGate {

@@ -31,9 +31,9 @@ type dispatcher struct {
 	depth     atomic.Int64 // notifications queued or in delivery
 
 	mu          sync.Mutex
-	closed      bool
-	sinksClosed bool
-	closeErr    error
+	closed      bool  //enduratrace:guarded-by mu
+	sinksClosed bool  //enduratrace:guarded-by mu
+	closeErr    error //enduratrace:guarded-by mu
 	done        chan struct{}
 }
 

@@ -111,10 +111,12 @@ func uvarintLen(v uint64) int {
 // a hit past its deadline reads as unseen and re-arms, and a full sweep
 // runs at most once per TTL so inserts stay O(1) amortised.
 type dedupSet struct {
-	mu     sync.Mutex
-	ttl    int64
-	seenAt map[string]int64 // key -> expiry ns
-	lastGC int64
+	mu  sync.Mutex
+	ttl int64
+	// seenAt maps notification key -> expiry ns.
+	//enduratrace:guarded-by mu
+	seenAt map[string]int64
+	lastGC int64 //enduratrace:guarded-by mu
 }
 
 func newDedupSet(ttl time.Duration) *dedupSet {

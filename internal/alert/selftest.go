@@ -244,6 +244,7 @@ func selftestHysteresis(log *slog.Logger) error {
 				"%s: transition kinds %v/%v, want firing/resolved", s.Stream(), firing.Kind, resolved.Kind)
 			ck.assert(firing.Trips == minTrips, "%s: firing trips %d, want %d", s.Stream(), firing.Trips, minTrips)
 			ck.assert(firing.WindowIndex == fireIdx, "%s: firing window %d, want %d", s.Stream(), firing.WindowIndex, fireIdx)
+			//lint:ignore floateq asserts the injected distance propagated bit-exactly, no arithmetic in between
 			ck.assert(firing.GateDist == dist, "%s: firing dist %g, want %g", s.Stream(), firing.GateDist, dist)
 			ck.assert(resolved.DurationS > 0, "%s: resolved duration %g, want > 0", s.Stream(), resolved.DurationS)
 			ck.assert(resolved.FiredWall.Equal(firing.Wall), "%s: resolved fired_wall %v != firing wall %v",

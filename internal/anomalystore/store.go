@@ -160,11 +160,11 @@ type IncidentMeta struct {
 	Wall      string    `json:"wall"`
 	Score     JSONFloat `json:"score"`
 	GateDist  JSONFloat `json:"gate_dist"`
-	Alpha     float64   `json:"alpha"`
+	Alpha     JSONFloat `json:"alpha"`
 	Anomalous bool      `json:"anomalous"`
 	Alert     string    `json:"alert,omitempty"`
-	StartS    float64   `json:"start_s"`
-	EndS      float64   `json:"end_s"`
+	StartS    JSONFloat `json:"start_s"`
+	EndS      JSONFloat `json:"end_s"`
 	Windows   int       `json:"windows"`
 	Events    int       `json:"events"`
 }
@@ -199,11 +199,11 @@ func (inc *Incident) Meta() IncidentMeta {
 		Wall:      inc.Wall.UTC().Format(time.RFC3339Nano),
 		Score:     JSONFloat(inc.Score),
 		GateDist:  JSONFloat(inc.GateDist),
-		Alpha:     inc.Alpha,
+		Alpha:     JSONFloat(inc.Alpha),
 		Anomalous: inc.Anomalous,
 		Alert:     inc.Alert,
-		StartS:    inc.Start.Seconds(),
-		EndS:      inc.End.Seconds(),
+		StartS:    JSONFloat(inc.Start.Seconds()),
+		EndS:      JSONFloat(inc.End.Seconds()),
 		Windows:   len(inc.Windows),
 		Events:    events,
 	}

@@ -24,6 +24,7 @@ import (
 
 	"enduratrace/internal/distance"
 	"enduratrace/internal/lof"
+	"enduratrace/internal/obs"
 	"enduratrace/internal/pmf"
 	"enduratrace/internal/recorder"
 	"enduratrace/internal/stats"
@@ -277,6 +278,8 @@ func (m *Monitor) DisableByteAccounting() { m.noAcct = true }
 // Decision.Features aliases the monitor's reusable featurization buffer:
 // it is valid until the next ProcessWindow call; callers that retain it
 // must clone it.
+//
+//enduratrace:zeroalloc
 func (m *Monitor) ProcessWindow(w window.Window) Decision {
 	d := m.gateWindow(w)
 	if !d.GateTripped {
@@ -553,9 +556,9 @@ func (m *Monitor) Run(r trace.Reader, sink recorder.Sink,
 		stats.End = w.End
 		var d Decision
 		if m.scoreTimer != nil {
-			t0 := time.Now()
+			t0 := obs.Now()
 			d = m.ProcessWindow(w)
-			m.scoreTimer(time.Since(t0))
+			m.scoreTimer(time.Duration(obs.Now() - t0))
 		} else {
 			d = m.ProcessWindow(w)
 		}
@@ -677,16 +680,16 @@ func (m *Monitor) runBatched(r trace.BatchReader, sink recorder.Sink,
 			featArena = make([]float64, need)
 		}
 		for i, w := range wins {
-			var t0 time.Time
+			var t0 int64
 			if m.scoreTimer != nil {
-				t0 = time.Now()
+				t0 = obs.Now()
 			}
 			d := m.gateWindow(w)
 			feat := featArena[i*fdim : (i+1)*fdim]
 			copy(feat, d.Features)
 			d.Features = feat
 			if m.scoreTimer != nil {
-				gateNs = append(gateNs, time.Since(t0).Nanoseconds())
+				gateNs = append(gateNs, obs.Now()-t0)
 			}
 			if d.GateTripped {
 				qIdx = append(qIdx, len(decs))
@@ -699,9 +702,9 @@ func (m *Monitor) runBatched(r trace.BatchReader, sink recorder.Sink,
 		// sweep's wall time is split evenly across them for the scoreTimer,
 		// preserving its call-before-the-window's-callbacks contract.
 		if len(queries) > 0 {
-			var t0 time.Time
+			var t0 int64
 			if m.scoreTimer != nil {
-				t0 = time.Now()
+				t0 = obs.Now()
 			}
 			if cap(scores) < len(queries) {
 				scores = make([]float64, len(queries))
@@ -711,7 +714,7 @@ func (m *Monitor) runBatched(r trace.BatchReader, sink recorder.Sink,
 			m.lofCalls.Add(int64(len(queries)))
 			var share int64
 			if m.scoreTimer != nil {
-				share = time.Since(t0).Nanoseconds() / int64(len(queries))
+				share = (obs.Now() - t0) / int64(len(queries))
 			}
 			for qi, di := range qIdx {
 				d := &decs[di]

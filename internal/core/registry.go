@@ -39,11 +39,11 @@ type StreamRegistry struct {
 	models *ModelRegistry
 
 	mu      sync.Mutex
-	seq     int
-	live    map[string]*StreamHandle
-	closed  map[string]Snapshot // per-model totals of finished streams
-	nDone   int
-	nDoneBy map[string]int
+	seq     int                      //enduratrace:guarded-by mu
+	live    map[string]*StreamHandle //enduratrace:guarded-by mu
+	closed  map[string]Snapshot      //enduratrace:guarded-by mu
+	nDone   int                      //enduratrace:guarded-by mu
+	nDoneBy map[string]int           //enduratrace:guarded-by mu
 }
 
 // NewStreamRegistry builds a stream registry serving models. Model
@@ -110,6 +110,7 @@ func (r *StreamRegistry) Register(name, modelName string) (*StreamHandle, error)
 		}
 		id = fmt.Sprintf("%s-%04d", base, seq)
 	}
+	//lint:ignore monotime since is a wall-clock registration timestamp shown to operators
 	h := &StreamHandle{reg: r, id: id, model: m, mon: mon, since: time.Now(), state: StreamActive}
 	r.live[id] = h
 	return h, nil

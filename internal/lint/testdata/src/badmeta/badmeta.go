@@ -1,0 +1,33 @@
+// Package badmeta is golden-test input for the comment grammars: ignores
+// and directives that do not parse. Expectations live in the lint test
+// (not in want comments) because a malformed comment cannot also carry a
+// marker without changing what it parses as.
+package badmeta
+
+import "sync"
+
+func reasonless(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}
+
+func unknownAnalyzer(a, b float64) bool {
+	//lint:ignore gofancy not a real analyzer name
+	return a == b
+}
+
+type wrongDirectives struct {
+	mu sync.Mutex
+	//enduratrace:guarded-by
+	a int
+	//enduratrace:guarded-by mu extra words
+	b int
+	//enduratrace:frobnicate
+	c int
+}
+
+func (w *wrongDirectives) use() {
+	w.mu.Lock()
+	w.a, w.b, w.c = 1, 2, 3
+	w.mu.Unlock()
+}

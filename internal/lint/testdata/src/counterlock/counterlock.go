@@ -1,0 +1,106 @@
+// Package counterlock is golden-test input: writes to
+// //enduratrace:guarded-by fields with and without their mutex held.
+package counterlock
+
+import (
+	"os"
+	"sync"
+)
+
+type book struct {
+	mu     sync.Mutex
+	n      int            //enduratrace:guarded-by mu
+	byName map[string]int //enduratrace:guarded-by mu
+	free   int            // unguarded: never flagged
+}
+
+func (b *book) lockedIncrement() {
+	b.mu.Lock()
+	b.n++
+	b.byName["x"] = b.n
+	b.mu.Unlock()
+}
+
+func (b *book) lockedByDefer() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n = 7
+}
+
+func (b *book) unlockedIncrement() {
+	b.n++ // want "counterlock"
+	b.free++
+}
+
+func (b *book) writeAfterUnlock() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.n-- // want "counterlock"
+}
+
+func (b *book) earlyReturnStaysHeld(drop bool) {
+	b.mu.Lock()
+	if drop {
+		b.mu.Unlock()
+		return
+	}
+	b.n++ // still held on this path: clean
+	b.mu.Unlock()
+}
+
+func (b *book) branchReleases(drop bool) {
+	b.mu.Lock()
+	if drop {
+		b.mu.Unlock()
+	}
+	b.n++ // want "counterlock"
+	if !drop {
+		b.mu.Unlock()
+	}
+}
+
+func (b *book) goroutineDoesNotInherit() {
+	b.mu.Lock()
+	go func() {
+		b.n++ // want "counterlock"
+	}()
+	b.mu.Unlock()
+}
+
+func (b *book) loopMayRunZeroTimes(rounds int) {
+	for i := 0; i < rounds; i++ {
+		b.mu.Lock()
+	}
+	b.n++ // want "counterlock"
+	for i := 0; i < rounds; i++ {
+		b.mu.Unlock()
+	}
+}
+
+func (b *book) panicPathTerminates(ok bool) {
+	b.mu.Lock()
+	if !ok {
+		b.mu.Unlock()
+		panic("bail")
+	}
+	b.n++ // held: the panic branch terminated
+	b.mu.Unlock()
+}
+
+func (b *book) exitPathTerminates(ok bool) {
+	b.mu.Lock()
+	if !ok {
+		os.Exit(1)
+	}
+	b.n++ // held: os.Exit never returns
+	b.mu.Unlock()
+}
+
+type badGuard struct {
+	mu sync.Mutex
+	//enduratrace:guarded-by missing
+	n int // want "guarded-by names"
+}
+
+func (b *badGuard) use() { b.mu.Lock(); b.n++; b.mu.Unlock() }

@@ -1,0 +1,39 @@
+// Package errsink is golden-test input: discarded Write/Flush/Close/Sync
+// errors on module-declared sink types.
+package errsink
+
+import "os"
+
+// Sink is a module-declared type, so its error results are in scope.
+type Sink struct{}
+
+func (s *Sink) Write(p []byte) (int, error) { return len(p), nil }
+func (s *Sink) Flush() error                { return nil }
+func (s *Sink) Close() error                { return nil }
+func (s *Sink) Sync() error                 { return nil }
+
+func discards(s *Sink) {
+	s.Write(nil)    // want "errsink"
+	s.Flush()       // want "errsink"
+	defer s.Close() // want "errsink"
+	go s.Sync()     // want "errsink"
+}
+
+func checks(s *Sink) error {
+	if _, err := s.Write(nil); err != nil {
+		return err
+	}
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+func ignored(s *Sink) {
+	//lint:ignore errsink best-effort flush on an error path already returning an error
+	s.Flush()
+}
+
+func stdlibOutOfScope(f *os.File) {
+	f.Close() // stdlib receiver: clean by design
+}

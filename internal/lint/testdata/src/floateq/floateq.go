@@ -1,0 +1,28 @@
+// Package floateq is golden-test input: float equality comparisons and
+// the carve-outs that stay legal.
+package floateq
+
+func compare(a, b float64) bool {
+	return a == b // want "floateq"
+}
+
+func nanSpelledOut(x float64) bool {
+	return x != x // want "floateq"
+}
+
+func narrow(a, b float32) bool {
+	return a != b // want "floateq"
+}
+
+func zeroSentinel(sum float64) bool {
+	return sum == 0 // exact-zero sentinel: clean
+}
+
+func bothConst() bool {
+	return 0.1+0.2 == 0.3 // compile-time constants: clean
+}
+
+func intended(a, b float64) bool {
+	//lint:ignore floateq bit-exactness is the property under test here
+	return a == b
+}

@@ -1,0 +1,7 @@
+// The golden-test module for enduratrace's lint suite. A separate module
+// so the repo's own `enduratrace lint ./...` (and go build/test ./...)
+// never descends into these deliberately broken packages; the lint tests
+// load this root explicitly.
+module lint/testdata/src
+
+go 1.24

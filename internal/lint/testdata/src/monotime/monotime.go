@@ -1,0 +1,18 @@
+// Package monotime is golden-test input: wall-clock reads in a hot-path
+// package, with and without a validated ignore.
+package monotime
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "monotime"
+}
+
+func deadline(c interface{ SetReadDeadline(time.Time) error }) {
+	//lint:ignore monotime net deadlines are wall-clock time.Time by API contract
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // Since is not Now: clean
+}

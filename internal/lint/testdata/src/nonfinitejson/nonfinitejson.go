@@ -1,0 +1,71 @@
+// Package nonfinitejson is golden-test input: float64 values reachable
+// from json.Marshal without a non-finite-safe representation.
+package nonfinitejson
+
+import "encoding/json"
+
+// SafeFloat carries its own MarshalJSON: trusted, never entered.
+type SafeFloat float64
+
+func (f SafeFloat) MarshalJSON() ([]byte, error) { return []byte("1"), nil }
+
+type report struct {
+	Score   float64 // want "nonfinitejson"
+	Safe    SafeFloat
+	Shadow  *float64 // the blessed null-for-non-finite shape
+	Skipped float64  `json:"-"`
+	hidden  float64
+}
+
+func emit() ([]byte, error) {
+	return json.Marshal(report{})
+}
+
+// writeJSON is the one-level wrapper the analyzer resolves: its call
+// sites become marshal sites.
+func writeJSON(v any) {
+	_, _ = json.Marshal(v)
+}
+
+type viaWrapper struct {
+	Ratio float64 // want "nonfinitejson"
+}
+
+func callWrapper() {
+	writeJSON(viaWrapper{})
+}
+
+// Embedded-field shadowing, the `type plain T` idiom: outer F hides the
+// promoted float64 F, so only the unshadowed G is a finding.
+type inner struct {
+	F float64 `json:"f"`
+	G float64 `json:"g"` // want "nonfinitejson"
+}
+
+type outer struct {
+	inner
+	F SafeFloat `json:"f"`
+}
+
+func marshalOuter() ([]byte, error) {
+	return json.Marshal(outer{})
+}
+
+// A type with MarshalJSON marshalling floats inside that method is its
+// own non-finite story: not entered, not flagged.
+type custom struct{ v float64 }
+
+func (c custom) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.v)
+}
+
+func direct(x float64) ([]byte, error) {
+	return json.Marshal(x) // want "nonfinitejson"
+}
+
+func nested() ([]byte, error) {
+	type row struct {
+		Vals []float64 // reached through map elem + slice elem: reported at the marshal site
+	}
+	return json.Marshal(map[string]row{}) // want "nonfinitejson"
+}

@@ -1,0 +1,22 @@
+// Package slogargs is golden-test input: slog calls with broken
+// key/value arity or non-string keys.
+package slogargs
+
+import (
+	"context"
+	"log/slog"
+)
+
+func broken(l *slog.Logger, ctx context.Context) {
+	l.Info("msg", "key")           // want "slogargs"
+	l.Warn("msg", 42, "x")         // want "slogargs"
+	l.ErrorContext(ctx, "m", "k")  // want "slogargs"
+	slog.Error("msg", "a", 1, "b") // want "slogargs"
+}
+
+func fine(l *slog.Logger, args []any) {
+	l.Info("msg", "key", 1)
+	l.Error("msg", slog.Int("n", 2), "k", "v")
+	l.Warn("msg", args...) // spread: arity not statically decidable
+	slog.Info("msg")
+}

@@ -1,0 +1,18 @@
+// Package suppress is golden-test input for the suppression machinery
+// itself: a working ignore (no finding escapes), an end-of-line ignore,
+// and a stale ignore that must be reported.
+package suppress
+
+func suppressedAbove(a, b float64) bool {
+	//lint:ignore floateq golden test: the ignore on the line above suppresses
+	return a == b
+}
+
+func suppressedSameLine(a, b float64) bool {
+	return a == b //lint:ignore floateq golden test: end-of-line ignore suppresses
+}
+
+func stale(a, b float64) bool {
+	//lint:ignore floateq the comparison this excused is long gone // want "staleignore"
+	return a < b
+}

@@ -1,0 +1,42 @@
+// Package zeroalloc is golden-test input for the escape-analysis gate:
+// an annotated function with a deliberate heap escape, a clean one, and
+// an escape excused inline.
+package zeroalloc
+
+// Leaky is annotated but returns a pointer to a local: the compiler
+// moves x to the heap, and the gate must fail on it.
+//
+//enduratrace:zeroalloc
+func Leaky() *int {
+	x := 42 // want "zeroalloc"
+	return &x
+}
+
+// Clean allocates nothing; the gate stays quiet.
+//
+//enduratrace:zeroalloc
+func Clean(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Unannotated may allocate freely.
+func Unannotated() *int {
+	x := 7
+	return &x
+}
+
+// Excused has the amortized-scratch shape: the escape is excused with a
+// line-precise ignore, so the gate stays quiet without losing coverage
+// of the rest of the function.
+//
+//enduratrace:zeroalloc
+func Excused(scratch *[]byte, n int) []byte {
+	if cap(*scratch) < n {
+		//lint:ignore zeroalloc amortized scratch growth: reused across calls, steady-state zero
+		*scratch = make([]byte, n)
+	}
+	return (*scratch)[:n]
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The zero-alloc gate: functions annotated //enduratrace:zeroalloc are
+// verified against the compiler's escape analysis. `go build
+// -gcflags=<module>/...=-m` emits one diagnostic per allocation decision
+// ("escapes to heap", "moved to heap", "func literal escapes to heap");
+// any such line attributed to an annotated function's body is a finding.
+// This catches at compile time what testing.AllocsPerRun only catches at
+// test time — and catches it on every build, not just on the benchmarked
+// configuration.
+//
+// Two classes of in-function allocation are legitimately suppressed with
+// an inline //lint:ignore zeroalloc <reason>: amortized scratch growth
+// (a make() assigned to a reused field — steady-state zero, first-call
+// nonzero) and panic-path formatting (fmt.Sprintf inside a panic()).
+// The suppression is line-precise, so a *new* escape in the same
+// function still fails the gate.
+//
+// The diagnostics are served from the go build cache (the compiler's
+// -m output is replayed on cache hits), so a clean re-run costs one
+// no-op build.
+
+// zeroAllocFn is one annotated function: its file and body line range,
+// used to attribute compiler diagnostics.
+type zeroAllocFn struct {
+	name      string // display name, e.g. (*eventQueue).ReadBatch
+	file      string // absolute path
+	startLine int
+	endLine   int
+	pos       token.Pos
+}
+
+// runZeroAlloc collects the //enduratrace:zeroalloc annotations from the
+// loaded packages, runs the compiler's escape analysis over the module,
+// and reports every heap escape attributed to an annotated function.
+func runZeroAlloc(load *Load, r *runner) error {
+	fns := collectZeroAllocFns(load)
+	if len(fns) == 0 {
+		return nil
+	}
+
+	cmd := exec.Command("go", "build", fmt.Sprintf("-gcflags=%s/...=-m", load.ModulePath), "./...")
+	cmd.Dir = load.Root
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("lint: zeroalloc gate: go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+
+	seen := make(map[string]bool) // dedup identical diagnostics
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		file, lineNo, col, msg, ok := parseDiag(line)
+		if !ok || !isHeapEscape(msg) {
+			continue
+		}
+		abs := file
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(load.Root, file)
+		}
+		for _, fn := range fns {
+			if fn.file != abs || lineNo < fn.startLine || lineNo > fn.endLine {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d:%d:%s", abs, lineNo, col, msg)
+			if seen[key] {
+				break
+			}
+			seen[key] = true
+			r.report("zeroalloc", "hoist the allocation out of the hot path, reuse scratch, or //lint:ignore zeroalloc <reason>",
+				token.Position{Filename: abs, Line: lineNo, Column: col},
+				fmt.Sprintf("%s is //enduratrace:zeroalloc but the compiler says: %s", fn.name, msg))
+			break
+		}
+	}
+	return sc.Err()
+}
+
+// collectZeroAllocFns finds every annotated function declaration.
+func collectZeroAllocFns(load *Load) []zeroAllocFn {
+	var fns []zeroAllocFn
+	for _, pkg := range load.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !funcHasDirective(fn, "zeroalloc") {
+					continue
+				}
+				start := load.Fset.Position(fn.Pos())
+				end := load.Fset.Position(fn.Body.End())
+				name := fn.Name.Name
+				if fn.Recv != nil && len(fn.Recv.List) > 0 {
+					name = "(" + recvString(fn.Recv.List[0].Type) + ")." + name
+				}
+				fns = append(fns, zeroAllocFn{
+					name:      name,
+					file:      start.Filename,
+					startLine: start.Line,
+					endLine:   end.Line,
+					pos:       fn.Pos(),
+				})
+			}
+		}
+	}
+	return fns
+}
+
+func recvString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + recvString(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvString(t.X)
+	}
+	return "?"
+}
+
+// parseDiag splits a compiler diagnostic "file.go:12:6: message".
+func parseDiag(line string) (file string, lineNo, col int, msg string, ok bool) {
+	// Skip the "# package" headers and blank lines cheaply.
+	if line == "" || line[0] == '#' {
+		return "", 0, 0, "", false
+	}
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return "", 0, 0, "", false
+	}
+	file = line[:i+3]
+	rest := line[i+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return "", 0, 0, "", false
+	}
+	lineNo, err1 := strconv.Atoi(parts[0])
+	col, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, "", false
+	}
+	return file, lineNo, col, strings.TrimSpace(parts[2]), true
+}
+
+// isHeapEscape classifies the -m diagnostics that mean "this line
+// allocates on the heap".
+func isHeapEscape(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap")
+}

@@ -222,6 +222,8 @@ func (m *Model) NewScorer() *Scorer { return &Scorer{m: m} }
 // Score returns the LOF of an unseen point q against the reference model.
 // Values near 1 indicate q is embedded in a cluster of regular reference
 // points; values >= alpha > 1 indicate an outlier (§II).
+//
+//enduratrace:zeroalloc
 func (sc *Scorer) Score(q []float64) float64 {
 	m := sc.m
 	nbrs := m.index.KNN(q, m.K, -1, &sc.s)
@@ -235,8 +237,11 @@ func (sc *Scorer) Score(q []float64) float64 {
 // loop order so each reference-matrix row is loaded once per batch, never
 // the per-(query,row) arithmetic. Indexes other than the brute index, and
 // batches of fewer than two queries, fall back to per-query scoring.
+//
+//enduratrace:zeroalloc
 func (sc *Scorer) ScoreBatch(qs [][]float64, out []float64) {
 	if len(out) != len(qs) {
+		//lint:ignore zeroalloc panic-path formatting; never reached on the hot path
 		panic(fmt.Sprintf("lof: ScoreBatch out length %d != %d queries", len(out), len(qs)))
 	}
 	m := sc.m
@@ -248,13 +253,16 @@ func (sc *Scorer) ScoreBatch(qs [][]float64, out []float64) {
 		return
 	}
 	nq := len(qs)
+	//lint:ignore zeroalloc amortized scratch growth in the inlined flatBuf; steady-state zero
 	qflat := sc.s.flatBuf(nq * m.dim)
 	for i, q := range qs {
 		if len(q) != m.dim {
+			//lint:ignore zeroalloc panic-path formatting; never reached on the hot path
 			panic(fmt.Sprintf("lof: ScoreBatch query %d has dimension %d, want %d", i, len(q), m.dim))
 		}
 		copy(qflat[i*m.dim:(i+1)*m.dim], q)
 	}
+	//lint:ignore zeroalloc amortized scratch growth in the inlined batchDists; steady-state zero
 	dists := sc.s.batchDists(nq * b.n)
 	b.distsBatch(qflat, nq, &sc.s, dists)
 	for i := 0; i < nq; i++ {

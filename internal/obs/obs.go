@@ -79,11 +79,15 @@ type Histogram struct {
 }
 
 // Observe records one duration.
+//
+//enduratrace:zeroalloc
 func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
 
 // ObserveNs records one duration given in nanoseconds. Non-positive
 // durations (clock went backwards between the two reads) count as 1ns so
 // the observation is never lost.
+//
+//enduratrace:zeroalloc
 func (h *Histogram) ObserveNs(ns int64) {
 	if ns < 1 {
 		ns = 1
@@ -204,6 +208,8 @@ func (p *Pipeline) Snapshot() PipelineSnapshot {
 
 // epoch anchors the package's monotonic clock; all Now values are
 // comparable within one process.
+//
+//lint:ignore monotime the epoch is the one wall-clock read obs.Now itself is built on
 var epoch = time.Now()
 
 // Now returns monotonic nanoseconds since process start: the timestamp

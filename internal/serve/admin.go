@@ -21,12 +21,12 @@ type flightReport struct {
 
 // healthReport is the /healthz body.
 type healthReport struct {
-	Status       string   `json:"status"`
-	UptimeS      float64  `json:"uptime_s"`
-	StreamsLive  int      `json:"streams_live"`
-	ModelPoints  int      `json:"model_points"`
-	Models       []string `json:"models"`
-	DefaultModel string   `json:"default_model"`
+	Status       string                 `json:"status"`
+	UptimeS      anomalystore.JSONFloat `json:"uptime_s"`
+	StreamsLive  int                    `json:"streams_live"`
+	ModelPoints  int                    `json:"model_points"`
+	Models       []string               `json:"models"`
+	DefaultModel string                 `json:"default_model"`
 }
 
 // adminMux builds the admin endpoints:
@@ -46,7 +46,7 @@ func (s *Server) adminMux() *http.ServeMux {
 		_, live, _ := s.reg.Totals()
 		writeJSON(w, http.StatusOK, healthReport{
 			Status:       "ok",
-			UptimeS:      time.Since(s.start).Seconds(),
+			UptimeS:      anomalystore.JSONFloat(time.Since(s.start).Seconds()),
 			StreamsLive:  live,
 			ModelPoints:  s.models.Default().Learned.Model.Len(),
 			Models:       s.models.Names(),
@@ -92,6 +92,7 @@ func (s *Server) adminMux() *http.ServeMux {
 		profiled := func(h http.HandlerFunc) http.HandlerFunc {
 			return func(w http.ResponseWriter, r *http.Request) {
 				rc := http.NewResponseController(w)
+				//lint:ignore monotime net deadlines are wall-clock time.Time by API contract
 				rc.SetWriteDeadline(time.Now().Add(10 * time.Minute))
 				h(w, r)
 			}
@@ -115,8 +116,10 @@ func (s *Server) adminMux() *http.ServeMux {
 		// hit the stale deadline and report failure. Push the deadline out
 		// past the load.
 		rc := http.NewResponseController(w)
+		//lint:ignore monotime net deadlines are wall-clock time.Time by API contract
 		rc.SetWriteDeadline(time.Now().Add(10 * time.Minute))
 		rep, err := s.Reload()
+		//lint:ignore monotime net deadlines are wall-clock time.Time by API contract
 		rc.SetWriteDeadline(time.Now().Add(10 * time.Second))
 		if err != nil {
 			writeJSON(w, http.StatusConflict, struct {
@@ -146,10 +149,10 @@ type incidentDetail struct {
 }
 
 type incidentWindow struct {
-	Index  int     `json:"index"`
-	StartS float64 `json:"start_s"`
-	EndS   float64 `json:"end_s"`
-	Events int     `json:"events"`
+	Index  int                    `json:"index"`
+	StartS anomalystore.JSONFloat `json:"start_s"`
+	EndS   anomalystore.JSONFloat `json:"end_s"`
+	Events int                    `json:"events"`
 }
 
 // handleAnomalies serves the anomaly store's admin view. Without a store
@@ -185,8 +188,8 @@ func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 		for _, win := range inc.Windows {
 			detail.ContextWindows = append(detail.ContextWindows, incidentWindow{
 				Index:  win.Index,
-				StartS: win.Start.Seconds(),
-				EndS:   win.End.Seconds(),
+				StartS: anomalystore.JSONFloat(win.Start.Seconds()),
+				EndS:   anomalystore.JSONFloat(win.End.Seconds()),
 				Events: len(win.Events),
 			})
 		}

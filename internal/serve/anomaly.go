@@ -72,9 +72,10 @@ func (t *tripRecorder) onDecision(d core.Decision) error {
 	t.ring = t.ring[:0]
 
 	_, err := t.store.Append(anomalystore.Incident{
-		Stream:      t.stream,
-		Model:       t.model,
-		ModelGen:    t.modelGen,
+		Stream:   t.stream,
+		Model:    t.model,
+		ModelGen: t.modelGen,
+		//lint:ignore monotime incidents persist a wall-clock timestamp for operators and replay
 		Wall:        time.Now(),
 		Score:       d.LOF,
 		GateDist:    d.GateDist,

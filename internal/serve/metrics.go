@@ -575,6 +575,7 @@ func ValidatePrometheusText(body []byte) (samples int, err error) {
 		if h.count == nil {
 			return samples, fmt.Errorf("histogram %s has no _count sample", key)
 		}
+		//lint:ignore floateq histogram _count and the +Inf bucket are integer counters; the invariant is exact
 		if *h.count != inf {
 			return samples, fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", key, *h.count, inf)
 		}

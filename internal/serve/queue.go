@@ -76,9 +76,9 @@ type eventQueue struct {
 	closed   bool
 	policy   Backpressure
 
-	dropped  int64
-	ingested int64
-	scored   int64
+	dropped  int64 //enduratrace:guarded-by mu
+	ingested int64 //enduratrace:guarded-by mu
+	scored   int64 //enduratrace:guarded-by mu
 
 	// Instrumentation (instrument() turns it on; nil/zero otherwise).
 	// meta rides the ring in parallel with buf: per-event enqueue
@@ -157,6 +157,8 @@ func (q *eventQueue) Push(ev trace.Event) bool {
 // timestamp (obs.Now at decode completion), the decode duration, the
 // stream ordinal and whether the flight recorder sampled it. On an
 // uninstrumented queue the extras are simply dropped.
+//
+//enduratrace:zeroalloc
 func (q *eventQueue) PushTimed(ev trace.Event, enqNs, decodeNs int64, seq uint64, flight bool) bool {
 	q.mu.Lock()
 	if q.policy == Block {
@@ -198,6 +200,8 @@ func (q *eventQueue) PushTimed(ev trace.Event, enqNs, decodeNs int64, seq uint64
 // admitted event evicts the oldest exactly as Push would. Returns false
 // once the queue is closed — events admitted before the close stay
 // counted and consumable.
+//
+//enduratrace:zeroalloc
 func (q *eventQueue) PushBatch(evs []trace.Event, enqNs, decodeNsPerEv int64, firstSeq uint64, flightEvery uint64) bool {
 	for len(evs) > 0 {
 		q.mu.Lock()
@@ -258,6 +262,8 @@ func (q *eventQueue) Close() {
 }
 
 // Next implements trace.Reader for the scoring side.
+//
+//enduratrace:zeroalloc
 func (q *eventQueue) Next() (trace.Event, error) {
 	q.mu.Lock()
 	for q.n == 0 && !q.closed {
@@ -308,6 +314,8 @@ func (q *eventQueue) Next() (trace.Event, error) {
 // discipline matches Next — scored moves inside the lock — while the
 // per-event observation work (QueueWait, pending arrivals, flight slot)
 // happens after unlock on metadata copied out under the lock.
+//
+//enduratrace:zeroalloc
 func (q *eventQueue) ReadBatch(dst []trace.Event) (int, error) {
 	q.mu.Lock()
 	for q.n == 0 && !q.closed {
@@ -324,6 +332,7 @@ func (q *eventQueue) ReadBatch(dst []trace.Event) (int, error) {
 	var metas []evMeta
 	if q.meta != nil {
 		if cap(q.popMetas) < k {
+			//lint:ignore zeroalloc amortized scratch growth: reused across calls, steady-state zero
 			q.popMetas = make([]evMeta, k)
 		}
 		metas = q.popMetas[:k]

@@ -195,14 +195,14 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 		gate = make(chan struct{})
 		go func() {
 			defer close(gate)
-			deadline := time.Now().Add(60 * time.Second)
+			deadline := obs.Now() + (60 * time.Second).Nanoseconds()
 			for {
 				var stats StatsReport
 				if err := getJSON(adminURL+"/stats", &stats); err == nil &&
 					stats.Windows > 0 && stats.StreamsLive == opts.Clients {
 					break
 				}
-				if time.Now().After(deadline) {
+				if obs.Now() > deadline {
 					reloadErr <- fmt.Errorf("serve: selftest reload: server never under load")
 					return
 				}
@@ -231,7 +231,7 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 		}
 	}
 
-	start := time.Now()
+	start := obs.Now()
 	reports := make([]ClientReport, opts.Clients)
 	errs := make([]error, opts.Clients)
 	var wg sync.WaitGroup
@@ -258,7 +258,7 @@ func Selftest(ctx context.Context, opts SelftestOptions) (*SelftestReport, error
 	if err := awaitClosedStreams(ctx, adminURL, opts.Clients); err != nil {
 		return nil, err
 	}
-	wall := time.Since(start)
+	wall := time.Duration(obs.Now() - start)
 
 	var stats StatsReport
 	if err := getJSON(adminURL+"/stats", &stats); err != nil {
@@ -477,6 +477,7 @@ func runRejectClient(addr, name string) error {
 	if err := fw.Flush(); err != nil { // push the header to the server
 		return err
 	}
+	//lint:ignore monotime net deadlines are wall-clock time.Time by API contract
 	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
 	var buf [1]byte
 	if _, err := conn.Read(buf[:]); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
@@ -575,7 +576,7 @@ func (t *teeReader) Next() (trace.Event, error) {
 // awaitClosedStreams polls /stats until every client stream has drained
 // and closed, or the context/timeout gives up.
 func awaitClosedStreams(ctx context.Context, adminURL string, want int) error {
-	deadline := time.Now().Add(60 * time.Second)
+	deadline := obs.Now() + (60 * time.Second).Nanoseconds()
 	for {
 		var stats StatsReport
 		if err := getJSON(adminURL+"/stats", &stats); err == nil {
@@ -583,7 +584,7 @@ func awaitClosedStreams(ctx context.Context, adminURL string, want int) error {
 				return nil
 			}
 		}
-		if time.Now().After(deadline) {
+		if obs.Now() > deadline {
 			return fmt.Errorf("serve: selftest streams did not drain within 60s")
 		}
 		select {

@@ -168,11 +168,11 @@ type StatsReport struct {
 	// limiting); AlertStoreErrors counts those appends that failed.
 	// AlertsFiring is the number of streams with an open incident right
 	// now. All zero without an alert pipeline.
-	AlertTransitions int64   `json:"alert_transitions"`
-	AlertStoreErrors int64   `json:"alert_store_errors"`
-	AlertsFiring     int     `json:"alerts_firing"`
-	ModelPoints      int     `json:"model_points"`
-	UptimeS          float64 `json:"uptime_s"`
+	AlertTransitions int64                  `json:"alert_transitions"`
+	AlertStoreErrors int64                  `json:"alert_store_errors"`
+	AlertsFiring     int                    `json:"alerts_firing"`
+	ModelPoints      int                    `json:"model_points"`
+	UptimeS          anomalystore.JSONFloat `json:"uptime_s"`
 }
 
 // StreamView is one live stream's row in /streams.
@@ -191,9 +191,9 @@ type StreamView struct {
 	// events whose scorer has made no progress for Options.StallAfter —
 	// the signature of a wedged model or a sink blocked on I/O (an empty
 	// queue is never stalled, it is just idle).
-	LastIngestAgeS   float64 `json:"last_ingest_age_s"`
-	LastProgressAgeS float64 `json:"last_progress_age_s"`
-	Stalled          bool    `json:"stalled"`
+	LastIngestAgeS   anomalystore.JSONFloat `json:"last_ingest_age_s"`
+	LastProgressAgeS anomalystore.JSONFloat `json:"last_progress_age_s"`
+	Stalled          bool                   `json:"stalled"`
 }
 
 // stream is the server-side state of one live connection.
@@ -308,10 +308,11 @@ func New(opts Options) (*Server, error) {
 		flight = obs.NewFlight(opts.FlightEvery, opts.FlightCap)
 	}
 	srv := &Server{
-		opts:     opts,
-		models:   models,
-		reg:      core.NewStreamRegistry(models),
-		log:      logger,
+		opts:   opts,
+		models: models,
+		reg:    core.NewStreamRegistry(models),
+		log:    logger,
+		//lint:ignore monotime uptime is reported against the wall-clock start for operators
 		start:    time.Now(),
 		flight:   flight,
 		obsBy:    make(map[string]*obs.Pipeline),
@@ -490,6 +491,7 @@ func (s *Server) beginShutdown() {
 	for _, c := range conns {
 		// Expire reads instead of closing: the ingest goroutine wakes with
 		// a deadline error and closes its queue, and the scorer drains.
+		//lint:ignore monotime net deadlines are wall-clock time.Time by API contract
 		c.SetReadDeadline(time.Now())
 	}
 }
@@ -655,9 +657,10 @@ func (s *Server) handleConn(conn net.Conn) {
 			if ok {
 				e2e := now - fm.enqNs
 				rec := obs.Record{
-					Stream:      h.ID(),
-					Model:       h.Model().Name,
-					Seq:         fm.seq,
+					Stream: h.ID(),
+					Model:  h.Model().Name,
+					Seq:    fm.seq,
+					//lint:ignore monotime flight records carry a wall-clock arrival time for operators
 					Wall:        time.Now().Add(-time.Duration(e2e)),
 					DecodeNs:    fm.decodeNs,
 					QueueNs:     fm.waitNs,
@@ -777,7 +780,7 @@ func (s *Server) Stats() StatsReport {
 		AlertTransitions:     s.alertPersisted.Load(),
 		AlertStoreErrors:     s.alertPersistErrs.Load(),
 		ModelPoints:          s.models.Default().Learned.Model.Len(),
-		UptimeS:              time.Since(s.start).Seconds(),
+		UptimeS:              anomalystore.JSONFloat(time.Since(s.start).Seconds()),
 	}
 	if s.opts.Alerts != nil {
 		rep.AlertsFiring = s.opts.Alerts.FiringStreams()
@@ -825,8 +828,8 @@ func (s *Server) Streams() []StreamView {
 			FullBytes:        st.fullBytes.Load(),
 			RecordedBytes:    st.sink.bytes.Load(),
 			RecordedWindows:  st.sink.windows.Load(),
-			LastIngestAgeS:   float64(now-pushNs) / 1e9,
-			LastProgressAgeS: float64(now-popNs) / 1e9,
+			LastIngestAgeS:   anomalystore.JSONFloat(float64(now-pushNs) / 1e9),
+			LastProgressAgeS: anomalystore.JSONFloat(float64(now-popNs) / 1e9),
 		}
 		if s.opts.StallAfter > 0 && qc.Depth > 0 &&
 			now-popNs > int64(s.opts.StallAfter) {

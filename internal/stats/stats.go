@@ -343,6 +343,7 @@ func ArgmaxAutocorr(xs []float64, minLag, maxLag int) (int, float64) {
 	}
 	constant := true
 	for _, x := range xs {
+		//lint:ignore floateq constant-series detection means literally identical values, not near-equal ones
 		if x != xs[0] {
 			constant = false
 			break
